@@ -1,0 +1,39 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper.  The
+workload scale defaults to a laptop-friendly 10 % of the paper's size;
+set ``REPRO_BENCH_SCALE=1.0`` to run the full-size workload (each
+simulation cell then takes a few seconds instead of fractions of one).
+
+The rendered table/series for each experiment is attached to the
+benchmark's ``extra_info`` and printed, so ``pytest benchmarks/
+--benchmark-only -s`` shows the reproduced figures next to the timings.
+"""
+
+import os
+
+import pytest
+
+#: Workload scale for the benchmark suite.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+#: Root seed for the benchmark suite.
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_seed():
+    return SEED
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under the benchmark timer.
+
+    Simulation benchmarks are long; one round is representative and
+    keeps the suite's total runtime sane.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+"""Ablations on the dual-cache design choices (§3.3).
+
+The paper fixes DC-FP at a 50/50 partition and bounds DC-LAP to
+[25 %, 75 %]; these sweeps measure how sensitive the dual-cache family
+is to those choices.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_cell
+from repro.experiments.spec import CellKey
+from repro.experiments.report import render_table
+
+
+def test_dcfp_partition_sweep(benchmark, bench_scale, bench_seed):
+    fractions = (0.25, 0.5, 0.75)
+
+    def sweep():
+        row = []
+        for fraction in fractions:
+            result = run_cell(
+                CellKey("news", "dc-fp", 0.05),
+                scale=bench_scale,
+                seed=bench_seed,
+                strategy_options={"push_fraction": fraction},
+            )
+            row.append(100.0 * result.hit_ratio)
+        return row
+
+    row = run_once(benchmark, sweep)
+    text = render_table(
+        "Ablation — DC-FP push-cache fraction (NEWS, 5 %)",
+        [f"{f:.0%}" for f in fractions],
+        {"dc-fp": row},
+    )
+    print("\n" + text)
+    benchmark.extra_info["table"] = text
+    assert all(0.0 <= value <= 100.0 for value in row)
+
+
+def test_dclap_bound_sweep(benchmark, bench_scale, bench_seed):
+    bounds = ((0.05, 0.95), (0.25, 0.75), (0.4, 0.6))
+
+    def sweep():
+        row = []
+        for lower, upper in bounds:
+            result = run_cell(
+                CellKey("news", "dc-lap", 0.05),
+                scale=bench_scale,
+                seed=bench_seed,
+                strategy_options={
+                    "lower_fraction": lower,
+                    "upper_fraction": upper,
+                },
+            )
+            row.append(100.0 * result.hit_ratio)
+        return row
+
+    row = run_once(benchmark, sweep)
+    text = render_table(
+        "Ablation — DC-LAP partition bounds (NEWS, 5 %)",
+        [f"[{low:.0%},{high:.0%}]" for low, high in bounds],
+        {"dc-lap": row},
+    )
+    print("\n" + text)
+    benchmark.extra_info["table"] = text
+    # Wider bounds let the partition adapt at least as well as the
+    # tightest setting (within noise).
+    assert row[0] >= row[2] - 5.0

@@ -1,0 +1,27 @@
+"""§5.1 — the β calibration sweep for GD*, SG1 and SG2.
+
+The paper varies β from 0.0625 to 4 and picks the best setting per
+trace/strategy.  Shape check: the sweep runs, produces finite hit
+ratios everywhere, and the spread across β is modest (β balances
+long-term popularity vs short-term correlation; it tunes rather than
+makes the strategies).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import beta_sweep
+
+BETAS = (0.0625, 0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def test_beta_calibration_sweep(benchmark, bench_scale, bench_seed):
+    result = run_once(
+        benchmark, beta_sweep, scale=bench_scale, seed=bench_seed, betas=BETAS
+    )
+    print("\n" + result.text)
+    benchmark.extra_info["sweep"] = result.text
+
+    for strategy, series in result.data.items():
+        assert len(series) == len(BETAS)
+        assert all(0.0 <= value <= 100.0 for value in series), strategy
+        best, worst = max(series), min(series)
+        assert best - worst < 30.0, f"{strategy} unreasonably sensitive to beta"

@@ -1,0 +1,27 @@
+"""Figure 3 — hit ratios of Dual-Methods and Dual-Caches (NEWS, §5.2).
+
+Paper shape: every Dual-* approach beats GD*, and DC-LAP is the best of
+the family at every capacity setting (with DC-AP/DC-LAP only marginally
+ahead of DC-FP).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure3
+
+
+def test_figure3_dual_strategies(benchmark, bench_scale, bench_seed):
+    result = run_once(benchmark, figure3, scale=bench_scale, seed=bench_seed)
+    print("\n" + result.text)
+    benchmark.extra_info["figure"] = result.text
+
+    data = result.data
+    # Shape check: the adaptive dual caches beat the baseline at the
+    # 5 % and 10 % capacity settings.
+    for capacity_index in (1, 2):
+        assert data["dc-ap"][capacity_index] > data["gdstar"][capacity_index]
+        assert data["dc-lap"][capacity_index] > data["gdstar"][capacity_index]
+        assert data["dm"][capacity_index] > data["gdstar"][capacity_index]
+    # Hit ratio grows with capacity for every strategy.
+    for series in data.values():
+        assert series[0] <= series[1] + 2.0
+        assert series[1] <= series[2] + 2.0

@@ -1,0 +1,25 @@
+"""Figure 4a/4b — hit ratios of all methods at SQ = 1 (§5.3).
+
+Paper shape: subscription-informed strategies beat GD* (except SUB at
+1 % on NEWS); SG2/SR are the best; ranks are stable across capacities.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure4
+
+
+def test_figure4_all_methods(benchmark, bench_scale, bench_seed):
+    panels = run_once(benchmark, figure4, scale=bench_scale, seed=bench_seed)
+    for panel in panels.values():
+        print("\n" + panel.text)
+    benchmark.extra_info["figure4a"] = panels["news"].text
+    benchmark.extra_info["figure4b"] = panels["alternative"].text
+
+    for trace, panel in panels.items():
+        data = panel.data
+        # SG2 and SR beat the GD* baseline at 5 % and 10 % capacity.
+        for capacity_index in (1, 2):
+            assert data["sg2"][capacity_index] > data["gdstar"][capacity_index]
+            assert data["sr"][capacity_index] > data["gdstar"][capacity_index]
+        # SG1 does not beat SG2 (the s+a blend keeps spent pages).
+        assert data["sg1"][1] <= data["sg2"][1] + 1.0

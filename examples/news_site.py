@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""The paper's news-delivery scenario end to end.
+
+Reproduces the §5.3 comparison (Figure 4) at a configurable scale:
+every strategy from Table 1, three cache-capacity settings, both the
+NEWS (α = 1.5) and ALTERNATIVE (α = 1.0) traces, plus the Table 2
+relative improvements.
+
+Run:  python examples/news_site.py [--scale 0.1] [--seed 7] [--full]
+"""
+
+import argparse
+
+from repro.experiments.figures import figure4
+from repro.experiments.tables import table2
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="workload scale (1.0 = the paper's 195k-request trace)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="shorthand for --scale 1.0 (several minutes of runtime)",
+    )
+    args = parser.parse_args()
+    scale = 1.0 if args.full else args.scale
+
+    print(f"Running the Figure 4 grid at scale {scale:g} (seed {args.seed})…\n")
+    for panel in figure4(scale=scale, seed=args.seed).values():
+        print(panel.text)
+        print()
+
+    print("Table 2 — relative improvement over the GD* baseline:\n")
+    print(table2(scale=scale, seed=args.seed).text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Run every paper experiment at full scale and dump the renderings."""
+import sys, time
+from repro.experiments.figures import figure3, figure4, figure5, figure6, figure7, beta_sweep
+from repro.experiments.tables import table2
+
+def emit(text):
+    print(text, flush=True)
+
+t0 = time.time()
+emit("=== Full-scale experiment suite (scale=1.0, seed=7) ===")
+emit("\n--- Figure 3 ---"); emit(figure3(scale=1.0).text)
+emit("\n--- Figure 4 ---")
+for p in figure4(scale=1.0).values(): emit(p.text + "\n")
+emit("\n--- Table 2 ---"); emit(table2(scale=1.0).text)
+emit("\n--- Figure 5 ---")
+for p in figure5(scale=1.0).values(): emit(p.text + "\n")
+emit("\n--- Figure 6 ---")
+for p in figure6(scale=1.0).values(): emit(p.text + "\n")
+emit("\n--- Figure 7 ---")
+for p in figure7(scale=1.0).values(): emit(p.text + "\n")
+emit("\n--- beta sweep (NEWS) ---"); emit(beta_sweep(scale=1.0).text)
+emit("\n--- beta sweep (ALTERNATIVE) ---"); emit(beta_sweep(scale=1.0, trace="alternative").text)
+emit(f"\ntotal wall time: {time.time()-t0:.0f}s")

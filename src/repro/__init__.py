@@ -1,0 +1,55 @@
+"""repro — Content Distribution for Publish/Subscribe Services.
+
+A from-scratch Python reproduction of Chen, LaPaugh & Singh,
+*Content Distribution for Publish/Subscribe Services* (Middleware 2003):
+hybrid push-time/access-time content placement for content-intensive
+publish/subscribe systems, evaluated on an MSNBC-derived synthetic news
+workload.
+
+Package map:
+
+* :mod:`repro.core` — the nine distribution strategies (GD*, SUB, SG1,
+  SG2, SR, DM, DC-FP, DC-AP, DC-LAP) plus classic comparators.
+* :mod:`repro.cache` — capacity-limited cache substrate.
+* :mod:`repro.pubsub` — subscriptions, matching, routing, broker.
+* :mod:`repro.network` — BRITE-style topologies and fetch costs.
+* :mod:`repro.sim` — discrete-event simulation kernel and seeded RNG.
+* :mod:`repro.workload` — the §4 synthetic workload generator.
+* :mod:`repro.system` — the Fig. 2 simulator and its metrics.
+* :mod:`repro.experiments` — one function per paper table/figure.
+
+Quickstart::
+
+    from repro.workload.presets import make_trace
+    from repro.system import SimulationConfig, run_simulation
+
+    trace = make_trace("news", scale=0.2, seed=7)
+    result = run_simulation(trace, SimulationConfig(strategy="sg2"))
+    print(result.summary())
+"""
+
+from repro.core import make_policy, strategy_names
+from repro.system import SimulationConfig, PushingScheme, run_simulation
+from repro.workload import (
+    WorkloadConfig,
+    generate_workload,
+    news_config,
+    alternative_config,
+)
+from repro.workload.presets import make_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "make_policy",
+    "strategy_names",
+    "SimulationConfig",
+    "PushingScheme",
+    "run_simulation",
+    "WorkloadConfig",
+    "generate_workload",
+    "news_config",
+    "alternative_config",
+    "make_trace",
+    "__version__",
+]

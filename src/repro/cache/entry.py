@@ -1,0 +1,70 @@
+"""Cache entries.
+
+An entry records one cached page version together with the mutable
+state the replacement policies maintain.  The dual-cache strategies
+(DC-FP/DC-AP/DC-LAP) additionally label each entry with the module that
+owns its storage — the paper's 2-tuple ``(o, v)`` where ``o`` is the
+owning module and ``v`` the value under that module's policy (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+#: Entry/storage owned by the access-time (caching) module.
+ACCESS_MODULE = "access"
+#: Entry/storage owned by the push-time (placing) module.
+PUSH_MODULE = "push"
+
+
+@dataclass
+class CacheEntry:
+    """A cached page version plus policy bookkeeping.
+
+    Attributes:
+        page_id: stable page identifier.
+        version: cached version number (stale versions are misses).
+        size: bytes occupied.
+        cost: fetch cost ``c(p)`` from this proxy to the publisher.
+        access_count: ``a`` — accesses since the page entered the cache
+            (reset on eviction per In-Cache LFU, §3.1).
+        match_count: ``s`` — subscriptions matching the page at this
+            proxy (static during a run; §4.3).
+        value: current value under the owning policy.
+        module: owning module label (dual-cache strategies only).
+        accessed_since_replacement: whether the entry was referenced
+            since the last replacement round in its cache — DC-AP uses
+            this to pick repartition victims (§3.3).
+        last_access_time: simulation time of the latest hit.
+    """
+
+    page_id: int
+    version: int
+    size: int
+    cost: float
+    access_count: int = 0
+    match_count: int = 0
+    value: float = 0.0
+    module: str = ACCESS_MODULE
+    accessed_since_replacement: bool = True
+    last_access_time: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"entry size must be positive, got {self.size}")
+        if self.cost <= 0:
+            raise ValueError(f"entry cost must be positive, got {self.cost}")
+        if self.module not in (ACCESS_MODULE, PUSH_MODULE):
+            raise ValueError(f"unknown module label: {self.module!r}")
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """(page_id, version) identity of the cached content."""
+        return (self.page_id, self.version)
+
+    def record_access(self, at: float) -> None:
+        """Register a hit at simulation time ``at``."""
+        self.access_count += 1
+        self.accessed_since_replacement = True
+        self.last_access_time = at

@@ -1,0 +1,113 @@
+"""An addressable min-heap with lazy deletion.
+
+Replacement policies repeatedly need "the least valuable cached page"
+while page values change on every hit.  A plain ``heapq`` cannot update
+priorities, so this heap keeps one *live* record per key and marks
+superseded records dead; dead records are skipped (and discarded) when
+they surface.  All operations are O(log n) amortized.
+
+Ties on priority are broken by insertion sequence, which keeps eviction
+order deterministic across runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Optional, Tuple
+
+
+class AddressableHeap:
+    """Min-heap mapping hashable keys to float priorities."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Hashable]] = []
+        self._live: Dict[Hashable, Tuple[float, int]] = {}
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._live
+
+    def push(self, key: Hashable, priority: float) -> None:
+        """Insert ``key`` or update its priority if already present."""
+        self._sequence += 1
+        record = (float(priority), self._sequence, key)
+        self._live[key] = (record[0], record[1])
+        heapq.heappush(self._heap, record)
+
+    #: ``update`` is an alias — push already overwrites.
+    update = push
+
+    def remove(self, key: Hashable) -> None:
+        """Remove ``key``; raises KeyError if absent."""
+        del self._live[key]
+
+    def discard(self, key: Hashable) -> None:
+        """Remove ``key`` if present."""
+        self._live.pop(key, None)
+
+    def priority(self, key: Hashable) -> float:
+        """Current priority of ``key``."""
+        return self._live[key][0]
+
+    def _skim(self) -> None:
+        """Drop dead records from the heap top."""
+        heap = self._heap
+        live = self._live
+        while heap:
+            priority, sequence, key = heap[0]
+            current = live.get(key)
+            if current is not None and current == (priority, sequence):
+                return
+            heapq.heappop(heap)
+
+    def peek(self) -> Tuple[Hashable, float]:
+        """(key, priority) of the minimum without removing it."""
+        self._skim()
+        if not self._heap:
+            raise IndexError("heap is empty")
+        priority, _sequence, key = self._heap[0]
+        return key, priority
+
+    def pop(self) -> Tuple[Hashable, float]:
+        """Remove and return the minimum (key, priority)."""
+        self._skim()
+        if not self._heap:
+            raise IndexError("heap is empty")
+        priority, _sequence, key = heapq.heappop(self._heap)
+        del self._live[key]
+        return key, priority
+
+    def min_priority(self) -> Optional[float]:
+        """Priority of the minimum, or None when empty."""
+        self._skim()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def keys(self):
+        """Live keys (arbitrary order)."""
+        return self._live.keys()
+
+    def items(self):
+        """Live (key, priority) pairs (arbitrary order)."""
+        return ((key, record[0]) for key, record in self._live.items())
+
+    def compact(self) -> None:
+        """Rebuild the backing list, dropping all dead records.
+
+        Called opportunistically by callers that churn keys heavily;
+        never required for correctness.
+        """
+        self._heap = [
+            (priority, sequence, key)
+            for key, (priority, sequence) in self._live.items()
+        ]
+        heapq.heapify(self._heap)
+
+    def maybe_compact(self, slack_factor: float = 4.0) -> None:
+        """Compact when dead records dominate the backing list."""
+        if len(self._heap) > slack_factor * max(8, len(self._live)):
+            self.compact()

@@ -1,0 +1,106 @@
+"""Per-cache statistics.
+
+Counts requests, hits, stale hits (right page, outdated version — a
+miss for freshness purposes), bytes served locally and bytes fetched
+from the publisher.  The simulator aggregates these into the paper's
+global hit ratio H (eq. 8) and traffic curves (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CacheStats:
+    """Mutable counters for one proxy cache."""
+
+    requests: int = 0
+    hits: int = 0
+    stale_hits: int = 0
+    bytes_served_local: int = 0
+    bytes_fetched: int = 0
+    pages_fetched: int = 0
+    pages_pushed_stored: int = 0
+    pages_pushed_rejected: int = 0
+    bytes_pushed: int = 0
+    evictions: int = 0
+    bytes_evicted: int = 0
+    #: Optional per-bucket (e.g. hourly) request/hit counters.
+    bucketed_requests: Dict[int, int] = field(default_factory=dict)
+    bucketed_hits: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def misses(self) -> int:
+        return self.requests - self.hits
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hit ratio of this cache; 0.0 when no requests were seen."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+    def record_request(self, hit: bool, size: int, bucket: int, stale: bool = False) -> None:
+        """Record one user request at time-bucket ``bucket``."""
+        self.requests += 1
+        self.bucketed_requests[bucket] = self.bucketed_requests.get(bucket, 0) + 1
+        if hit:
+            self.hits += 1
+            self.bytes_served_local += size
+            self.bucketed_hits[bucket] = self.bucketed_hits.get(bucket, 0) + 1
+        else:
+            if stale:
+                self.stale_hits += 1
+            self.pages_fetched += 1
+            self.bytes_fetched += size
+
+    def record_push(self, stored: bool, size: int, transferred: bool) -> None:
+        """Record a push-time placement attempt.
+
+        ``transferred`` tells whether content bytes actually crossed the
+        network (Always-Pushing transfers even rejected pages;
+        Pushing-When-Necessary does not — §5.6).
+        """
+        if stored:
+            self.pages_pushed_stored += 1
+        else:
+            self.pages_pushed_rejected += 1
+        if transferred:
+            self.bytes_pushed += size
+
+    def record_eviction(self, size: int) -> None:
+        self.evictions += 1
+        self.bytes_evicted += size
+
+    def merged_with(self, other: "CacheStats") -> "CacheStats":
+        """Return a new CacheStats with counters summed."""
+        merged = CacheStats(
+            requests=self.requests + other.requests,
+            hits=self.hits + other.hits,
+            stale_hits=self.stale_hits + other.stale_hits,
+            bytes_served_local=self.bytes_served_local + other.bytes_served_local,
+            bytes_fetched=self.bytes_fetched + other.bytes_fetched,
+            pages_fetched=self.pages_fetched + other.pages_fetched,
+            pages_pushed_stored=self.pages_pushed_stored + other.pages_pushed_stored,
+            pages_pushed_rejected=(
+                self.pages_pushed_rejected + other.pages_pushed_rejected
+            ),
+            bytes_pushed=self.bytes_pushed + other.bytes_pushed,
+            evictions=self.evictions + other.evictions,
+            bytes_evicted=self.bytes_evicted + other.bytes_evicted,
+        )
+        for bucket, count in self.bucketed_requests.items():
+            merged.bucketed_requests[bucket] = count
+        for bucket, count in other.bucketed_requests.items():
+            merged.bucketed_requests[bucket] = (
+                merged.bucketed_requests.get(bucket, 0) + count
+            )
+        for bucket, count in self.bucketed_hits.items():
+            merged.bucketed_hits[bucket] = count
+        for bucket, count in other.bucketed_hits.items():
+            merged.bucketed_hits[bucket] = (
+                merged.bucketed_hits.get(bucket, 0) + count
+            )
+        return merged

@@ -1,0 +1,307 @@
+"""Command-line interface.
+
+``repro-pubsub`` drives the reproduction from a terminal::
+
+    repro-pubsub run --strategy sg2 --trace news --capacity 0.05
+    repro-pubsub figure 4 --scale 0.2
+    repro-pubsub table 2 --scale 0.2
+    repro-pubsub sweep-beta --scale 0.1
+    repro-pubsub calibrate-beta --trace news --prefix 0.25
+    repro-pubsub seed-sweep --strategy sg2 --baseline gdstar --seeds 5
+    repro-pubsub trace-stats --trace alternative --scale 0.2 --validate
+    repro-pubsub generate-trace --trace news --output trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.registry import strategy_names
+from repro.experiments.figures import beta_sweep, figure3, figure4, figure5, figure6, figure7
+from repro.experiments.runner import run_cell
+from repro.experiments.spec import CellKey
+from repro.experiments.tables import table2
+from repro.system.config import PushingScheme
+from repro.workload.presets import make_trace
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale (1.0 = the paper's full size)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="root random seed")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_cell(
+        CellKey(
+            trace=args.trace,
+            strategy=args.strategy,
+            capacity=args.capacity,
+            sq=args.sq,
+            pushing=args.pushing,
+        ),
+        scale=args.scale,
+        seed=args.seed,
+        beta=args.beta,
+    )
+    print(result.summary())
+    return 0
+
+
+def _write_svg(panels, number: str, directory: str) -> None:
+    import os
+
+    from repro.experiments.figures import CAPACITIES, SQS
+    from repro.experiments.svg import figure_to_svg
+
+    os.makedirs(directory, exist_ok=True)
+    for panel in panels:
+        if number in ("3", "4"):
+            columns = [f"{int(c * 100)}%" for c in CAPACITIES]
+            svg = figure_to_svg(panel, kind="bars", column_names=columns)
+        elif number == "5":
+            svg = figure_to_svg(
+                panel, kind="bars", column_names=[f"SQ={q:g}" for q in SQS]
+            )
+        else:
+            svg = figure_to_svg(panel, kind="lines")
+        path = os.path.join(directory, f"{panel.name}.svg")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(svg)
+        print(f"wrote {path}")
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    number = args.number
+    if number == "3":
+        panels = [figure3(scale=args.scale, seed=args.seed)]
+    elif number == "4":
+        panels = list(figure4(scale=args.scale, seed=args.seed).values())
+    elif number == "5":
+        panels = list(figure5(scale=args.scale, seed=args.seed).values())
+    elif number == "6":
+        panels = list(figure6(scale=args.scale, seed=args.seed).values())
+    elif number == "7":
+        panels = list(figure7(scale=args.scale, seed=args.seed).values())
+    else:
+        print(f"unknown figure {number!r}; the paper has figures 3-7", file=sys.stderr)
+        return 2
+    for panel in panels:
+        print(panel.text)
+        print()
+    if args.svg:
+        _write_svg(panels, number, args.svg)
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.number != "2":
+        print("only Table 2 is an experiment (Table 1 is a taxonomy)", file=sys.stderr)
+        return 2
+    print(table2(scale=args.scale, seed=args.seed).text)
+    return 0
+
+
+def _cmd_sweep_beta(args: argparse.Namespace) -> int:
+    print(beta_sweep(scale=args.scale, seed=args.seed, trace=args.trace).text)
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.experiments.calibrate import calibrate_all
+    from repro.workload.presets import make_trace
+
+    workload = make_trace(args.trace, scale=args.scale, seed=args.seed)
+    results = calibrate_all(
+        workload, prefix_fraction=args.prefix, capacity_fraction=args.capacity
+    )
+    print(
+        f"beta calibrated on the first {args.prefix:.0%} of the "
+        f"{args.trace} trace (capacity {args.capacity:.0%}):"
+    )
+    for strategy, outcome in results.items():
+        grid = "  ".join(
+            f"beta={beta:g}:{100 * score:.1f}%"
+            for beta, score in sorted(outcome.prefix_scores.items())
+        )
+        print(f"  {strategy:>6s}: best beta = {outcome.best_beta:g}   [{grid}]")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.reportgen import generate_report
+
+    written = generate_report(args.output, scale=args.scale, seed=args.seed)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_seed_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sensitivity import compare_across_seeds
+
+    comparison = compare_across_seeds(
+        args.strategy,
+        baseline=args.baseline,
+        trace=args.trace,
+        capacity=args.capacity,
+        seeds=tuple(range(1, args.seeds + 1)),
+        scale=args.scale,
+    )
+    print(comparison.better.render())
+    print(comparison.baseline.render())
+    print(comparison.render())
+    return 0
+
+
+def _cmd_generate_trace(args: argparse.Namespace) -> int:
+    from repro.workload.presets import make_trace
+
+    workload = make_trace(args.trace, scale=args.scale, seed=args.seed)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(workload.to_json())
+    print(
+        f"wrote {args.output}: {len(workload.pages)} pages, "
+        f"{workload.publish_count} publish events, "
+        f"{workload.request_count} requests"
+    )
+    return 0
+
+
+def _cmd_trace_stats(args: argparse.Namespace) -> int:
+    workload = make_trace(args.trace, scale=args.scale, seed=args.seed)
+    if args.validate:
+        from repro.workload.validate import validate_workload
+
+        report = validate_workload(workload)
+        print(report.render())
+        return 0 if report.ok else 1
+    pairs = len(set(workload.request_pairs()))
+    unique = workload.unique_bytes_per_server()
+    mean_unique = sum(unique.values()) / max(1, len(unique))
+    print(f"trace          : {workload.label}")
+    print(f"distinct pages : {len(workload.pages)}")
+    print(f"publish events : {workload.publish_count}")
+    print(f"requests       : {workload.request_count}")
+    print(f"(page,server)  : {pairs} pairs")
+    print(f"servers        : {workload.config.server_count}")
+    print(f"unique bytes/server (mean): {mean_unique / 1e6:.2f} MB")
+    for fraction in (0.01, 0.05, 0.10):
+        caps = workload.capacities(fraction)
+        mean_cap = sum(caps.values()) / len(caps)
+        print(f"capacity @{fraction:>4.0%} (mean): {mean_cap / 1e3:8.1f} KB")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pubsub",
+        description=(
+            "Reproduction of 'Content Distribution for Publish/Subscribe "
+            "Services' (Middleware 2003)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one simulation cell")
+    run_parser.add_argument("--strategy", choices=sorted(strategy_names()), default="sg2")
+    run_parser.add_argument("--trace", choices=["news", "alternative"], default="news")
+    run_parser.add_argument("--capacity", type=float, default=0.05)
+    run_parser.add_argument("--sq", type=float, default=1.0)
+    run_parser.add_argument(
+        "--pushing",
+        choices=[scheme.value for scheme in PushingScheme],
+        default=PushingScheme.WHEN_NECESSARY.value,
+    )
+    run_parser.add_argument("--beta", type=float, default=None)
+    _add_common(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
+    figure_parser.add_argument("number", help="figure number (3-7)")
+    figure_parser.add_argument(
+        "--svg", metavar="DIR", default=None,
+        help="also write the figure as SVG files into DIR",
+    )
+    _add_common(figure_parser)
+    figure_parser.set_defaults(func=_cmd_figure)
+
+    table_parser = sub.add_parser("table", help="regenerate a paper table")
+    table_parser.add_argument("number", help="table number (2)")
+    _add_common(table_parser)
+    table_parser.set_defaults(func=_cmd_table)
+
+    beta_parser = sub.add_parser("sweep-beta", help="§5.1 β calibration sweep")
+    beta_parser.add_argument("--trace", choices=["news", "alternative"], default="news")
+    _add_common(beta_parser)
+    beta_parser.set_defaults(func=_cmd_sweep_beta)
+
+    stats_parser = sub.add_parser("trace-stats", help="describe a generated trace")
+    stats_parser.add_argument("--trace", choices=["news", "alternative"], default="news")
+    stats_parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="audit the trace against the paper's §4 target statistics",
+    )
+    _add_common(stats_parser)
+    stats_parser.set_defaults(func=_cmd_trace_stats)
+
+    calibrate_parser = sub.add_parser(
+        "calibrate-beta", help="learn beta from a trace prefix (§5.1)"
+    )
+    calibrate_parser.add_argument(
+        "--trace", choices=["news", "alternative"], default="news"
+    )
+    calibrate_parser.add_argument("--prefix", type=float, default=0.25)
+    calibrate_parser.add_argument("--capacity", type=float, default=0.05)
+    _add_common(calibrate_parser)
+    calibrate_parser.set_defaults(func=_cmd_calibrate)
+
+    report_parser = sub.add_parser(
+        "report", help="run every experiment and write a REPORT.md + SVGs"
+    )
+    report_parser.add_argument("--output", default="report")
+    _add_common(report_parser)
+    report_parser.set_defaults(func=_cmd_report)
+
+    sweep_parser = sub.add_parser(
+        "seed-sweep", help="seed-sensitivity analysis of a relative claim"
+    )
+    sweep_parser.add_argument("--strategy", default="sg2")
+    sweep_parser.add_argument("--baseline", default="gdstar")
+    sweep_parser.add_argument(
+        "--trace", choices=["news", "alternative"], default="news"
+    )
+    sweep_parser.add_argument("--capacity", type=float, default=0.05)
+    sweep_parser.add_argument("--seeds", type=int, default=5)
+    _add_common(sweep_parser)
+    sweep_parser.set_defaults(func=_cmd_seed_sweep)
+
+    generate_parser = sub.add_parser(
+        "generate-trace", help="generate a workload and write it as JSON"
+    )
+    generate_parser.add_argument(
+        "--trace", choices=["news", "alternative"], default="news"
+    )
+    generate_parser.add_argument("--output", default="trace.json")
+    _add_common(generate_parser)
+    generate_parser.set_defaults(func=_cmd_generate_trace)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-pubsub`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

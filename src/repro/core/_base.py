@@ -1,0 +1,166 @@
+"""Shared eviction mechanics for heap-ordered caches.
+
+:class:`HeapCache` bundles a :class:`~repro.cache.storage.CacheStorage`
+with an :class:`~repro.cache.heap.AddressableHeap` keyed by page value
+and implements the two eviction disciplines the strategies need:
+
+* *unconditional* (GD*, §3.1): evict least-valuable pages until the new
+  page fits — the new page is always admitted;
+* *conditional* (SUB and the single-cache combined schemes, §3.2–3.3):
+  only pages **cheaper than the incoming page** are candidates; if the
+  candidates (plus free space) cannot make room, nothing is evicted and
+  the page is rejected.
+
+Both return the value of the last evicted page so GD*-framework callers
+can maintain the inflation value ``L``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cache.entry import CacheEntry
+from repro.cache.heap import AddressableHeap
+from repro.cache.storage import CacheStorage
+
+
+@dataclass
+class EvictionResult:
+    """Outcome of an eviction round.
+
+    Attributes:
+        success: enough room was (or already was) available.
+        evicted: entries removed, in eviction order.
+        last_value: value of the final evicted entry (None if none).
+    """
+
+    success: bool
+    evicted: List[CacheEntry]
+    last_value: Optional[float]
+
+
+class HeapCache:
+    """Byte-accounted storage plus a value-ordered eviction heap."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        self.storage = CacheStorage(capacity_bytes)
+        self.heap = AddressableHeap()
+
+    # -- delegation -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.storage)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self.storage
+
+    def get(self, page_id: int) -> Optional[CacheEntry]:
+        return self.storage.get(page_id)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.storage.used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.storage.free_bytes
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.storage.capacity_bytes
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, entry: CacheEntry, value: float) -> None:
+        """Insert ``entry`` with ``value``; room must already exist."""
+        entry.value = value
+        self.storage.add(entry)
+        self.heap.push(entry.page_id, value)
+
+    def reprice(self, entry: CacheEntry, value: float) -> None:
+        """Update the value of a cached entry (e.g. after a hit)."""
+        entry.value = value
+        self.heap.push(entry.page_id, value)
+        # Hit-heavy workloads reprice far more often than they evict,
+        # so dead heap records accumulate; compact opportunistically.
+        self.heap.maybe_compact()
+
+    def remove(self, page_id: int) -> CacheEntry:
+        """Remove an entry without counting it as an eviction."""
+        self.heap.discard(page_id)
+        return self.storage.remove(page_id)
+
+    # -- eviction disciplines ----------------------------------------------
+
+    def evict_for(self, size: int) -> EvictionResult:
+        """Unconditional GD*-style eviction: make ``size`` bytes free.
+
+        Fails only when ``size`` exceeds total capacity (nothing is
+        evicted in that case).
+        """
+        if size <= self.storage.free_bytes:
+            return EvictionResult(success=True, evicted=[], last_value=None)
+        if size > self.storage.capacity_bytes:
+            return EvictionResult(success=False, evicted=[], last_value=None)
+        evicted: List[CacheEntry] = []
+        last_value: Optional[float] = None
+        while self.storage.free_bytes < size:
+            page_id, value = self.heap.pop()
+            entry = self.storage.remove(page_id)
+            evicted.append(entry)
+            last_value = value
+        return EvictionResult(success=True, evicted=evicted, last_value=last_value)
+
+    def evict_cheaper_for(self, size: int, threshold: float) -> EvictionResult:
+        """Conditional eviction: only entries with value < ``threshold``.
+
+        All-or-nothing: if the cheap entries plus existing free space
+        cannot fit ``size`` bytes, no entry is evicted and the result is
+        a failure.  Implemented as pop-and-rollback so no O(n) scan of
+        the cache is needed per placement attempt.
+        """
+        if size <= self.storage.free_bytes:
+            return EvictionResult(success=True, evicted=[], last_value=None)
+        if size > self.storage.capacity_bytes:
+            return EvictionResult(success=False, evicted=[], last_value=None)
+
+        popped: List[Tuple[int, float]] = []
+        freed = 0
+        needed = size - self.storage.free_bytes
+        while freed < needed:
+            minimum = self.heap.min_priority()
+            if minimum is None or minimum >= threshold:
+                # Not enough cheap pages: roll back.
+                for page_id, value in popped:
+                    self.heap.push(page_id, value)
+                return EvictionResult(success=False, evicted=[], last_value=None)
+            page_id, value = self.heap.pop()
+            popped.append((page_id, value))
+            freed += self.storage.get(page_id).size
+
+        evicted = []
+        last_value: Optional[float] = None
+        for page_id, value in popped:
+            evicted.append(self.storage.remove(page_id))
+            last_value = value
+        return EvictionResult(success=True, evicted=evicted, last_value=last_value)
+
+    # -- integrity --------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify storage/heap agreement (tests and debug)."""
+        self.storage.check_invariants()
+        storage_ids = {entry.page_id for entry in self.storage.entries()}
+        heap_ids = set(self.heap.keys())
+        if storage_ids != heap_ids:
+            raise AssertionError(
+                f"storage/heap drift: only-storage={storage_ids - heap_ids} "
+                f"only-heap={heap_ids - storage_ids}"
+            )
+        for entry in self.storage.entries():
+            if self.heap.priority(entry.page_id) != entry.value:
+                raise AssertionError(
+                    f"value drift for page {entry.page_id}: "
+                    f"heap={self.heap.priority(entry.page_id)} entry={entry.value}"
+                )

@@ -1,0 +1,138 @@
+"""Classic access-time replacement comparators: LRU, GDS, LFU-DA.
+
+The paper chose GD* as its baseline because it beats LRU,
+GreedyDual-Size and LFU-DA on hit ratio (§3.1, citing Jin & Bestavros).
+These three are implemented so that claim can be checked in this
+reproduction (``benchmarks/test_ablation_baselines.py``) and so users
+have drop-in alternatives.  All three are access-time-only policies:
+``on_publish`` is a no-op.
+"""
+
+from __future__ import annotations
+
+from repro.cache.entry import CacheEntry
+from repro.core._base import HeapCache
+from repro.core.policy import Policy, PushOutcome, RequestOutcome
+
+
+class _AccessOnlyPolicy(Policy):
+    """Shared skeleton: no push placement, unconditional admission."""
+
+    uses_push = False
+
+    def __init__(self, capacity_bytes: int, cost: float = 1.0) -> None:
+        super().__init__(capacity_bytes, cost)
+        self._cache = HeapCache(capacity_bytes)
+
+    def on_publish(
+        self, page_id: int, version: int, size: int, match_count: int, now: float
+    ) -> PushOutcome:
+        return PushOutcome(stored=False)
+
+    def on_request(
+        self, page_id: int, version: int, size: int, match_count: int, now: float
+    ) -> RequestOutcome:
+        entry = self._cache.get(page_id)
+        if entry is not None and entry.version == version:
+            entry.record_access(now)
+            self._cache.reprice(entry, self._value(entry, now))
+            self._record_request(hit=True, size=size, now=now)
+            return RequestOutcome(hit=True, cached_after=True)
+        if entry is not None:
+            entry.version = version
+            entry.record_access(now)
+            self._cache.reprice(entry, self._value(entry, now))
+            self._record_request(hit=False, size=size, now=now, stale=True)
+            return RequestOutcome(hit=False, stale=True, cached_after=True)
+
+        self._record_request(hit=False, size=size, now=now)
+        result = self._cache.evict_for(size)
+        if not result.success:
+            return RequestOutcome(hit=False, cached_after=False)
+        for evicted in result.evicted:
+            self.stats.record_eviction(evicted.size)
+        self._after_evictions(result)
+        entry = CacheEntry(
+            page_id=page_id,
+            version=version,
+            size=size,
+            cost=self.cost,
+            access_count=1,
+            last_access_time=now,
+        )
+        self._cache.add(entry, self._value(entry, now))
+        return RequestOutcome(hit=False, cached_after=True)
+
+    def _after_evictions(self, result) -> None:
+        """Hook for aging mechanisms (GDS/LFU-DA inflation)."""
+
+    def _value(self, entry: CacheEntry, now: float) -> float:
+        raise NotImplementedError
+
+    def contains(self, page_id: int) -> bool:
+        return page_id in self._cache
+
+    def cached_version(self, page_id: int) -> int:
+        entry = self._cache.get(page_id)
+        if entry is None:
+            raise KeyError(f"page {page_id} not cached")
+        return entry.version
+
+    @property
+    def used_bytes(self) -> int:
+        return self._cache.used_bytes
+
+    def check_invariants(self) -> None:
+        self._cache.check_invariants()
+
+
+class LRUPolicy(_AccessOnlyPolicy):
+    """Least-recently-used: value = time of last access."""
+
+    name = "lru"
+
+    def _value(self, entry: CacheEntry, now: float) -> float:
+        return now
+
+
+class GDSPolicy(_AccessOnlyPolicy):
+    """GreedyDual-Size (Cao & Irani 1997): ``V = L + c/s``.
+
+    No frequency term; the inflation value L provides aging exactly as
+    in GD* (GD* with beta → infinity degenerates to a frequency-less
+    form close to GDS).
+    """
+
+    name = "gds"
+
+    def __init__(self, capacity_bytes: int, cost: float = 1.0) -> None:
+        super().__init__(capacity_bytes, cost)
+        self.inflation = 0.0
+
+    def _after_evictions(self, result) -> None:
+        if result.last_value is not None:
+            self.inflation = result.last_value
+
+    def _value(self, entry: CacheEntry, now: float) -> float:
+        return self.inflation + entry.cost / entry.size
+
+
+class LFUDAPolicy(_AccessOnlyPolicy):
+    """LFU with Dynamic Aging: ``V = L + f`` (size-blind frequency).
+
+    The dynamic-aging term prevents formerly popular pages from
+    occupying the cache forever, the classic failure of plain LFU.
+    """
+
+    name = "lfu-da"
+
+    def __init__(self, capacity_bytes: int, cost: float = 1.0) -> None:
+        super().__init__(capacity_bytes, cost)
+        self.inflation = 0.0
+
+    def _after_evictions(self, result) -> None:
+        if result.last_value is not None:
+            self.inflation = result.last_value
+
+    def _value(self, entry: CacheEntry, now: float) -> float:
+        return self.inflation + entry.access_count

@@ -1,0 +1,408 @@
+"""Dual-cache strategies: DC-FP, DC-AP and DC-LAP (§3.3).
+
+The cache on a proxy is divided into a **Push-Cache (PC)** managed by
+SUB and an **Access-Cache (AC)** managed by GD*, so that the two
+placement modules never evict each other's pages directly (the
+interference problem of Dual-Methods).
+
+* **DC-FP** — fixed partition (50 %/50 % in the paper's experiments).
+  A PC page is *moved* into AC on its first access, which may trigger a
+  GD* replacement in AC.
+* **DC-AP** — adaptive partition.  Storage is *relabeled* instead of
+  moved: an accessed PC page's bytes simply become AC bytes (no AC
+  replacement), and when SUB cannot place a pushed page, AC pages that
+  have not been referenced since the last AC replacement donate their
+  storage to PC (evicting those pages), per the paper's placing
+  algorithm.
+* **DC-LAP** — DC-AP with the PC fraction bounded (25 %–75 % in the
+  paper); a repartition that would violate the bounds is not performed
+  (pushes fail; accessed PC pages fall back to the DC-FP move).
+
+GD*'s inflation value L belongs to the access module and advances only
+on AC evictions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.cache.entry import CacheEntry, ACCESS_MODULE, PUSH_MODULE
+from repro.core._base import HeapCache
+from repro.core.policy import Policy, PushOutcome, RequestOutcome
+from repro.core.values import gdstar_value, sub_value
+
+
+class _DualCacheBase(Policy):
+    """Shared plumbing for the DC-* strategies."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        cost: float = 1.0,
+        beta: float = 2.0,
+        push_fraction: float = 0.5,
+    ) -> None:
+        super().__init__(capacity_bytes, cost)
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        if not 0.0 <= push_fraction <= 1.0:
+            raise ValueError(f"push_fraction must be in [0, 1], got {push_fraction}")
+        self.beta = float(beta)
+        self.inflation = 0.0
+        pc_bytes = int(capacity_bytes * push_fraction)
+        self.pc = HeapCache(pc_bytes)
+        self.ac = HeapCache(capacity_bytes - pc_bytes)
+
+    # -- valuation --------------------------------------------------------
+
+    def _sub_value(self, entry: CacheEntry) -> float:
+        return sub_value(entry.match_count, entry.cost, entry.size)
+
+    def _gd_value(self, entry: CacheEntry) -> float:
+        return gdstar_value(
+            self.inflation, entry.access_count, entry.cost, entry.size, self.beta
+        )
+
+    @property
+    def push_fraction(self) -> float:
+        """Current fraction of total storage assigned to the push cache."""
+        if self.capacity_bytes == 0:
+            return 0.0
+        return self.pc.capacity_bytes / self.capacity_bytes
+
+    # -- AC helpers ----------------------------------------------------------
+
+    def _ac_evict_for(self, size: int) -> bool:
+        """Unconditional GD* eviction in AC; updates L; True on success."""
+        result = self.ac.evict_for(size)
+        if not result.success:
+            return False
+        for evicted in result.evicted:
+            self.stats.record_eviction(evicted.size)
+        if result.last_value is not None:
+            self.inflation = result.last_value
+        if result.evicted:
+            self._on_ac_replacement(result.evicted)
+        return True
+
+    def _on_ac_replacement(self, evicted: List[CacheEntry]) -> None:
+        """Hook: DC-AP tracks replacement generations here."""
+
+    def _ac_admit(self, entry: CacheEntry) -> bool:
+        """Place ``entry`` into AC, evicting by GD* value as needed."""
+        entry.module = ACCESS_MODULE
+        if not self._ac_evict_for(entry.size):
+            return False
+        self.ac.add(entry, self._gd_value(entry))
+        self._on_ac_insert(entry)
+        return True
+
+    def _on_ac_insert(self, entry: CacheEntry) -> None:
+        """Hook: DC-AP stamps freshness here."""
+
+    def _ac_touch(self, entry: CacheEntry, now: float) -> None:
+        entry.record_access(now)
+        self.ac.reprice(entry, self._gd_value(entry))
+        self._on_ac_access(entry)
+
+    def _on_ac_access(self, entry: CacheEntry) -> None:
+        """Hook: DC-AP refreshes the idle-tracking stamp here."""
+
+    # -- push time (shared by all DC variants) -----------------------------
+
+    def on_publish(
+        self, page_id: int, version: int, size: int, match_count: int, now: float
+    ) -> PushOutcome:
+        in_pc = self.pc.get(page_id)
+        if in_pc is not None:
+            if in_pc.version == version:
+                return PushOutcome(stored=False)
+            in_pc.version = version
+            in_pc.match_count = match_count
+            self.pc.reprice(in_pc, self._sub_value(in_pc))
+            self.stats.record_push(stored=True, size=size, transferred=True)
+            return PushOutcome(stored=True, refreshed=True)
+        in_ac = self.ac.get(page_id)
+        if in_ac is not None:
+            if in_ac.version == version:
+                return PushOutcome(stored=False)
+            # Content refresh of an access-cache resident; ownership
+            # and GD* value are unchanged (an update is not an access).
+            in_ac.version = version
+            in_ac.match_count = match_count
+            self.stats.record_push(stored=True, size=size, transferred=True)
+            return PushOutcome(stored=True, refreshed=True)
+
+        stored = self._pc_place(page_id, version, size, match_count, now)
+        self.stats.record_push(stored=stored, size=size, transferred=stored)
+        return PushOutcome(stored=stored)
+
+    def _pc_place(
+        self, page_id: int, version: int, size: int, match_count: int, now: float
+    ) -> bool:
+        """SUB placement into PC; subclasses may add repartitioning."""
+        value = sub_value(match_count, self.cost, size)
+        result = self.pc.evict_cheaper_for(size, threshold=value)
+        if not result.success:
+            return False
+        for evicted in result.evicted:
+            self.stats.record_eviction(evicted.size)
+        entry = CacheEntry(
+            page_id=page_id,
+            version=version,
+            size=size,
+            cost=self.cost,
+            match_count=match_count,
+            module=PUSH_MODULE,
+            last_access_time=now,
+        )
+        self.pc.add(entry, value)
+        return True
+
+    # -- access time (shared skeleton; PC-hit handling differs) ---------------
+
+    def on_request(
+        self, page_id: int, version: int, size: int, match_count: int, now: float
+    ) -> RequestOutcome:
+        in_pc = self.pc.get(page_id)
+        if in_pc is not None:
+            if in_pc.version == version:
+                self._record_request(hit=True, size=size, now=now)
+                cached = self._promote(in_pc, now)
+                return RequestOutcome(hit=True, cached_after=cached)
+            # Stale in PC: fetch fresh bytes, refresh, then promote —
+            # the page is referenced now, so it belongs to AC.
+            in_pc.version = version
+            self._record_request(hit=False, size=size, now=now, stale=True)
+            cached = self._promote(in_pc, now)
+            return RequestOutcome(hit=False, stale=True, cached_after=cached)
+
+        in_ac = self.ac.get(page_id)
+        if in_ac is not None:
+            if in_ac.version == version:
+                self._ac_touch(in_ac, now)
+                self._record_request(hit=True, size=size, now=now)
+                return RequestOutcome(hit=True, cached_after=True)
+            in_ac.version = version
+            self._ac_touch(in_ac, now)
+            self._record_request(hit=False, size=size, now=now, stale=True)
+            return RequestOutcome(hit=False, stale=True, cached_after=True)
+
+        self._record_request(hit=False, size=size, now=now)
+        entry = CacheEntry(
+            page_id=page_id,
+            version=version,
+            size=size,
+            cost=self.cost,
+            match_count=match_count,
+            access_count=1,
+            last_access_time=now,
+        )
+        cached = self._ac_admit(entry)
+        return RequestOutcome(hit=False, cached_after=cached)
+
+    def _promote(self, entry: CacheEntry, now: float) -> bool:
+        """Handle the first access to a PC resident.  Returns whether the
+        page is still cached afterwards."""
+        raise NotImplementedError
+
+    def _move_pc_entry_to_ac(self, entry: CacheEntry, now: float) -> bool:
+        """DC-FP semantics: physically move the page into AC space."""
+        self.pc.remove(entry.page_id)
+        entry.record_access(now)
+        return self._ac_admit(entry)
+
+    # -- introspection -----------------------------------------------------------
+
+    def contains(self, page_id: int) -> bool:
+        return page_id in self.pc or page_id in self.ac
+
+    def cached_version(self, page_id: int) -> int:
+        entry = self.pc.get(page_id) or self.ac.get(page_id)
+        if entry is None:
+            raise KeyError(f"page {page_id} not cached")
+        return entry.version
+
+    @property
+    def used_bytes(self) -> int:
+        return self.pc.used_bytes + self.ac.used_bytes
+
+    def check_invariants(self) -> None:
+        self.pc.check_invariants()
+        self.ac.check_invariants()
+        total = self.pc.capacity_bytes + self.ac.capacity_bytes
+        if total != self.capacity_bytes:
+            raise AssertionError(
+                f"partition drift: pc={self.pc.capacity_bytes} "
+                f"ac={self.ac.capacity_bytes} total={self.capacity_bytes}"
+            )
+        overlap = set(self.pc.heap.keys()) & set(self.ac.heap.keys())
+        if overlap:
+            raise AssertionError(f"pages cached in both partitions: {overlap}")
+
+
+class DualCacheFixedPolicy(_DualCacheBase):
+    """DC-FP — dual caches with a fixed partition (§3.3)."""
+
+    name = "dc-fp"
+
+    def _promote(self, entry: CacheEntry, now: float) -> bool:
+        return self._move_pc_entry_to_ac(entry, now)
+
+
+class DualCacheAdaptivePolicy(_DualCacheBase):
+    """DC-AP / DC-LAP — dual caches with an adaptive partition (§3.3).
+
+    With the default unbounded fractions this is DC-AP; passing
+    ``lower_fraction=0.25, upper_fraction=0.75`` gives DC-LAP.  The
+    partition adapts by *relabeling* storage:
+
+    * an accessed PC page's bytes are relabeled as AC (no AC
+      replacement is triggered), and
+    * when SUB cannot place a pushed page in PC, AC pages that have not
+      been referenced since the last AC replacement are evicted
+      cheapest-GD*-value-first and their bytes relabeled as PC.
+    """
+
+    name = "dc-ap"
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        cost: float = 1.0,
+        beta: float = 2.0,
+        push_fraction: float = 0.5,
+        lower_fraction: float = 0.0,
+        upper_fraction: float = 1.0,
+    ) -> None:
+        if not 0.0 <= lower_fraction <= upper_fraction <= 1.0:
+            raise ValueError(
+                f"need 0 <= lower <= upper <= 1, got "
+                f"[{lower_fraction}, {upper_fraction}]"
+            )
+        if not lower_fraction <= push_fraction <= upper_fraction:
+            raise ValueError(
+                f"push_fraction {push_fraction} outside "
+                f"[{lower_fraction}, {upper_fraction}]"
+            )
+        super().__init__(capacity_bytes, cost, beta, push_fraction)
+        self.lower_fraction = float(lower_fraction)
+        self.upper_fraction = float(upper_fraction)
+        if lower_fraction > 0.0 or upper_fraction < 1.0:
+            self.name = "dc-lap"
+        # Idle tracking: an AC entry is an eviction/donation candidate
+        # when it has not been accessed since the last AC replacement.
+        self._ac_generation = 0
+        self._stamps: dict = {}
+        self._fresh_bytes = 0
+
+    # -- idle tracking hooks ------------------------------------------------
+
+    def _on_ac_insert(self, entry: CacheEntry) -> None:
+        self._stamps[entry.page_id] = self._ac_generation
+        self._fresh_bytes += entry.size
+
+    def _on_ac_access(self, entry: CacheEntry) -> None:
+        if self._stamps.get(entry.page_id) != self._ac_generation:
+            self._stamps[entry.page_id] = self._ac_generation
+            self._fresh_bytes += entry.size
+
+    def _on_ac_replacement(self, evicted: List[CacheEntry]) -> None:
+        # A replacement round begins a new generation: every surviving
+        # AC entry becomes idle until accessed again.
+        for entry in evicted:
+            self._stamps.pop(entry.page_id, None)
+        self._ac_generation += 1
+        self._fresh_bytes = 0
+
+    @property
+    def _idle_bytes(self) -> int:
+        """Bytes of AC entries not accessed since the last replacement."""
+        return self.ac.used_bytes - self._fresh_bytes
+
+    def _is_idle(self, page_id: int) -> bool:
+        return self._stamps.get(page_id) != self._ac_generation
+
+    # -- repartition: AC -> PC at push time -----------------------------------
+
+    def _pc_place(
+        self, page_id: int, version: int, size: int, match_count: int, now: float
+    ) -> bool:
+        if super()._pc_place(page_id, version, size, match_count, now):
+            return True
+        return self._pc_place_with_donation(page_id, version, size, match_count, now)
+
+    def _pc_place_with_donation(
+        self, page_id: int, version: int, size: int, match_count: int, now: float
+    ) -> bool:
+        """The paper's DC-AP placing algorithm: grow PC from idle AC pages."""
+        if self._idle_bytes < size:
+            return False
+        donated: List[CacheEntry] = []
+        set_aside: List[Tuple[int, float]] = []
+        pc_free = self.pc.free_bytes
+        feasible = True
+        while pc_free + sum(e.size for e in donated) < size:
+            minimum = self.ac.heap.min_priority()
+            if minimum is None:
+                feasible = False
+                break
+            victim_id, victim_value = self.ac.heap.pop()
+            if not self._is_idle(victim_id):
+                set_aside.append((victim_id, victim_value))
+                continue
+            victim = self.ac.get(victim_id)
+            donated.append(victim)
+            new_pc = self.pc.capacity_bytes + sum(e.size for e in donated)
+            if new_pc / max(1, self.capacity_bytes) > self.upper_fraction:
+                donated.pop()
+                set_aside.append((victim_id, victim_value))
+                feasible = False
+                break
+        # Fresh pages that surfaced during the scan go back untouched.
+        for aside_id, aside_value in set_aside:
+            self.ac.heap.push(aside_id, aside_value)
+        if not feasible:
+            for entry in donated:
+                self.ac.heap.push(entry.page_id, entry.value)
+            return False
+        # Commit: evict donors from AC, relabel their bytes as PC.
+        moved_bytes = 0
+        for entry in donated:
+            self.ac.storage.remove(entry.page_id)
+            self._stamps.pop(entry.page_id, None)
+            self.stats.record_eviction(entry.size)
+            moved_bytes += entry.size
+        self.ac.storage.resize(self.ac.capacity_bytes - moved_bytes)
+        self.pc.storage.resize(self.pc.capacity_bytes + moved_bytes)
+        new_entry = CacheEntry(
+            page_id=page_id,
+            version=version,
+            size=size,
+            cost=self.cost,
+            match_count=match_count,
+            module=PUSH_MODULE,
+            last_access_time=now,
+        )
+        self.pc.add(new_entry, sub_value(match_count, self.cost, size))
+        return True
+
+    # -- repartition: PC -> AC at access time ----------------------------------
+
+    def _promote(self, entry: CacheEntry, now: float) -> bool:
+        """Relabel the accessed PC page's storage as AC (no replacement).
+
+        Falls back to the DC-FP physical move when shrinking PC below
+        the lower bound is not allowed (DC-LAP).
+        """
+        new_pc = self.pc.capacity_bytes - entry.size
+        if new_pc / max(1, self.capacity_bytes) < self.lower_fraction:
+            return self._move_pc_entry_to_ac(entry, now)
+        self.pc.remove(entry.page_id)
+        self.pc.storage.resize(new_pc)
+        self.ac.storage.resize(self.ac.capacity_bytes + entry.size)
+        entry.record_access(now)
+        entry.module = ACCESS_MODULE
+        self.ac.add(entry, self._gd_value(entry))
+        self._on_ac_insert(entry)
+        return True

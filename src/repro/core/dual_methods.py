@@ -1,0 +1,203 @@
+"""DM — Dual-Methods: one cache, two independent replacement methods (§3.3).
+
+DM labels every cached page with *two* values and considers each value
+only in the corresponding module:
+
+* the **push module** runs SUB (eq. 2) over the whole cache — a new
+  matched publication may evict any page whose SUB value is lower,
+  under SUB's all-or-nothing candidate rule;
+* the **access module** runs GD* (eq. 1) over the whole cache — a miss
+  always admits the fetched page, evicting by GD* value.
+
+Because both modules operate on the same storage, a page in hot use can
+be evicted at push time when few subscriptions match it, and a freshly
+pushed page with high predicted use can be evicted on a miss because it
+has no access history yet — the interference the Dual-Cache variants
+(§3.3, :mod:`repro.core.dual_caches`) were designed to remove.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cache.entry import CacheEntry, ACCESS_MODULE, PUSH_MODULE
+from repro.cache.heap import AddressableHeap
+from repro.cache.storage import CacheStorage
+from repro.core.policy import Policy, PushOutcome, RequestOutcome
+from repro.core.values import gdstar_value, sub_value
+
+
+class DualMethodsPolicy(Policy):
+    """SUB at push time and GD* at access time on one shared cache."""
+
+    name = "dm"
+
+    def __init__(
+        self, capacity_bytes: int, cost: float = 1.0, beta: float = 2.0
+    ) -> None:
+        super().__init__(capacity_bytes, cost)
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        self.beta = float(beta)
+        self.inflation = 0.0
+        self._storage = CacheStorage(capacity_bytes)
+        self._push_heap = AddressableHeap()
+        self._access_heap = AddressableHeap()
+
+    # -- valuation -------------------------------------------------------
+
+    def _push_value(self, entry: CacheEntry) -> float:
+        return sub_value(entry.match_count, entry.cost, entry.size)
+
+    def _access_value(self, entry: CacheEntry) -> float:
+        return gdstar_value(
+            self.inflation, entry.access_count, entry.cost, entry.size, self.beta
+        )
+
+    def _insert(self, entry: CacheEntry) -> None:
+        self._storage.add(entry)
+        self._push_heap.push(entry.page_id, self._push_value(entry))
+        access_value = self._access_value(entry)
+        entry.value = access_value
+        self._access_heap.push(entry.page_id, access_value)
+
+    def _drop(self, page_id: int) -> CacheEntry:
+        self._push_heap.discard(page_id)
+        self._access_heap.discard(page_id)
+        return self._storage.remove(page_id)
+
+    # -- push time ---------------------------------------------------------
+
+    def on_publish(
+        self, page_id: int, version: int, size: int, match_count: int, now: float
+    ) -> PushOutcome:
+        existing = self._storage.get(page_id)
+        if existing is not None:
+            if existing.version == version:
+                return PushOutcome(stored=False)
+            # Self-refresh of the cache's own stale copy; the SUB-side
+            # value is static so only the content changes.
+            existing.version = version
+            existing.match_count = match_count
+            self._push_heap.push(page_id, self._push_value(existing))
+            self.stats.record_push(stored=True, size=size, transferred=True)
+            return PushOutcome(stored=True, refreshed=True)
+
+        threshold = sub_value(match_count, self.cost, size)
+        if not self._evict_cheaper_by_push_value(size, threshold):
+            self.stats.record_push(stored=False, size=size, transferred=False)
+            return PushOutcome(stored=False)
+        entry = CacheEntry(
+            page_id=page_id,
+            version=version,
+            size=size,
+            cost=self.cost,
+            match_count=match_count,
+            module=PUSH_MODULE,
+            last_access_time=now,
+        )
+        self._insert(entry)
+        self.stats.record_push(stored=True, size=size, transferred=True)
+        return PushOutcome(stored=True)
+
+    def _evict_cheaper_by_push_value(self, size: int, threshold: float) -> bool:
+        """SUB's all-or-nothing conditional eviction over the push heap.
+
+        Evictions made by the push module do not touch the GD* inflation
+        value — L belongs to the access module.
+        """
+        if size <= self._storage.free_bytes:
+            return True
+        if size > self._storage.capacity_bytes:
+            return False
+        popped: List[Tuple[int, float]] = []
+        freed = 0
+        needed = size - self._storage.free_bytes
+        while freed < needed:
+            minimum = self._push_heap.min_priority()
+            if minimum is None or minimum >= threshold:
+                for page_id, value in popped:
+                    self._push_heap.push(page_id, value)
+                return False
+            page_id, value = self._push_heap.pop()
+            popped.append((page_id, value))
+            freed += self._storage.get(page_id).size
+        for page_id, _value in popped:
+            self._access_heap.discard(page_id)
+            evicted = self._storage.remove(page_id)
+            self.stats.record_eviction(evicted.size)
+        return True
+
+    # -- access time ----------------------------------------------------------
+
+    def on_request(
+        self, page_id: int, version: int, size: int, match_count: int, now: float
+    ) -> RequestOutcome:
+        entry = self._storage.get(page_id)
+        if entry is not None and entry.version == version:
+            entry.record_access(now)
+            value = self._access_value(entry)
+            entry.value = value
+            self._access_heap.push(page_id, value)
+            self._record_request(hit=True, size=size, now=now)
+            return RequestOutcome(hit=True, cached_after=True)
+
+        if entry is not None:
+            entry.version = version
+            entry.record_access(now)
+            value = self._access_value(entry)
+            entry.value = value
+            self._access_heap.push(page_id, value)
+            self._record_request(hit=False, size=size, now=now, stale=True)
+            return RequestOutcome(hit=False, stale=True, cached_after=True)
+
+        self._record_request(hit=False, size=size, now=now)
+        if size > self._storage.capacity_bytes:
+            return RequestOutcome(hit=False, cached_after=False)
+        last_value: Optional[float] = None
+        while self._storage.free_bytes < size:
+            victim_id, victim_value = self._access_heap.pop()
+            self._push_heap.discard(victim_id)
+            evicted = self._storage.remove(victim_id)
+            self.stats.record_eviction(evicted.size)
+            last_value = victim_value
+        if last_value is not None:
+            self.inflation = last_value
+        entry = CacheEntry(
+            page_id=page_id,
+            version=version,
+            size=size,
+            cost=self.cost,
+            match_count=match_count,
+            access_count=1,
+            module=ACCESS_MODULE,
+            last_access_time=now,
+        )
+        self._insert(entry)
+        return RequestOutcome(hit=False, cached_after=True)
+
+    # -- introspection -----------------------------------------------------------
+
+    def contains(self, page_id: int) -> bool:
+        return page_id in self._storage
+
+    def cached_version(self, page_id: int) -> int:
+        entry = self._storage.get(page_id)
+        if entry is None:
+            raise KeyError(f"page {page_id} not cached")
+        return entry.version
+
+    @property
+    def used_bytes(self) -> int:
+        return self._storage.used_bytes
+
+    def check_invariants(self) -> None:
+        self._storage.check_invariants()
+        storage_ids = {entry.page_id for entry in self._storage.entries()}
+        for heap_name, heap in (("push", self._push_heap), ("access", self._access_heap)):
+            heap_ids = set(heap.keys())
+            if heap_ids != storage_ids:
+                raise AssertionError(
+                    f"{heap_name} heap drift: only-storage={storage_ids - heap_ids} "
+                    f"only-heap={heap_ids - storage_ids}"
+                )

@@ -1,0 +1,139 @@
+"""GD* — the access-based caching baseline (§3.1).
+
+Greedy-Dual* (Jin & Bestavros 2001) generalizes GreedyDual-Size with a
+frequency term and an aging mechanism: every page is valued
+
+    V(p) = L + (f(p) · c(p) / s(p)) ^ (1/beta)
+
+where ``L`` is an inflation value set to the value of the last evicted
+page, so long-idle pages decay relative to fresh ones.  Following the
+paper's implementation notes:
+
+* reference counts are discarded on eviction (In-Cache LFU) — this is
+  the ``retain_counts_on_eviction=False`` default; the ablation bench
+  flips it;
+* on a hit, ``f(p)`` increments and the page is re-valued with the
+  *current* ``L``;
+* on a miss the page is always admitted, evicting least-valuable pages
+  until it fits (pages larger than the whole cache are served without
+  caching).
+
+GD* performs no push-time placement: :meth:`on_publish` is a no-op, so
+the strategy generates no push traffic and its curves are flat across
+pushing schemes (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cache.entry import CacheEntry
+from repro.core._base import HeapCache
+from repro.core.policy import Policy, PushOutcome, RequestOutcome
+from repro.core.values import gdstar_value
+
+
+class GDStarPolicy(Policy):
+    """The GD* replacement algorithm on one proxy cache."""
+
+    name = "gdstar"
+    uses_push = False
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        cost: float = 1.0,
+        beta: float = 2.0,
+        retain_counts_on_eviction: bool = False,
+    ) -> None:
+        super().__init__(capacity_bytes, cost)
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        self.beta = float(beta)
+        self.retain_counts_on_eviction = retain_counts_on_eviction
+        self.inflation = 0.0
+        self._cache = HeapCache(capacity_bytes)
+        #: Reference counts kept across evictions (ablation mode only).
+        self._evicted_counts: Dict[int, int] = {}
+
+    # -- push time: nothing happens ------------------------------------------
+
+    def on_publish(
+        self, page_id: int, version: int, size: int, match_count: int, now: float
+    ) -> PushOutcome:
+        """Pure caching ignores publications (the cached copy, if any,
+        simply becomes stale and is detected at the next access)."""
+        return PushOutcome(stored=False)
+
+    # -- access time --------------------------------------------------------
+
+    def on_request(
+        self, page_id: int, version: int, size: int, match_count: int, now: float
+    ) -> RequestOutcome:
+        entry = self._cache.get(page_id)
+        if entry is not None and entry.version == version:
+            entry.record_access(now)
+            self._cache.reprice(entry, self._value(entry))
+            self._record_request(hit=True, size=size, now=now)
+            return RequestOutcome(hit=True, cached_after=True)
+
+        if entry is not None:
+            # Stale copy: fetch the fresh version, refresh in place.
+            entry.version = version
+            entry.record_access(now)
+            self._cache.reprice(entry, self._value(entry))
+            self._record_request(hit=False, size=size, now=now, stale=True)
+            return RequestOutcome(hit=False, stale=True, cached_after=True)
+
+        self._record_request(hit=False, size=size, now=now)
+        cached = self._admit(page_id, version, size, now)
+        return RequestOutcome(hit=False, cached_after=cached)
+
+    def _admit(self, page_id: int, version: int, size: int, now: float) -> bool:
+        """Unconditional GD* placement of a just-fetched page."""
+        result = self._cache.evict_for(size)
+        if not result.success:
+            return False
+        self._settle_evictions(result)
+        entry = CacheEntry(
+            page_id=page_id,
+            version=version,
+            size=size,
+            cost=self.cost,
+            access_count=1 + self._evicted_counts.pop(page_id, 0),
+            last_access_time=now,
+        )
+        self._cache.add(entry, self._value(entry))
+        return True
+
+    def _settle_evictions(self, result) -> None:
+        """Account for evicted pages and advance the inflation value."""
+        for evicted in result.evicted:
+            self.stats.record_eviction(evicted.size)
+            if self.retain_counts_on_eviction:
+                self._evicted_counts[evicted.page_id] = evicted.access_count
+        if result.last_value is not None:
+            self.inflation = result.last_value
+
+    def _value(self, entry: CacheEntry) -> float:
+        return gdstar_value(
+            self.inflation, entry.access_count, entry.cost, entry.size, self.beta
+        )
+
+    # -- introspection -----------------------------------------------------------
+
+    def contains(self, page_id: int) -> bool:
+        return page_id in self._cache
+
+    def cached_version(self, page_id: int) -> int:
+        entry = self._cache.get(page_id)
+        if entry is None:
+            raise KeyError(f"page {page_id} not cached")
+        return entry.version
+
+    @property
+    def used_bytes(self) -> int:
+        return self._cache.used_bytes
+
+    def check_invariants(self) -> None:
+        self._cache.check_invariants()

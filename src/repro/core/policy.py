@@ -1,0 +1,138 @@
+"""The policy interface shared by every content distribution strategy.
+
+A policy lives on one proxy server.  The simulator drives it through
+two entry points, matching the paper's two placement opportunities:
+
+* :meth:`Policy.on_publish` — *push time*: the matching engine found
+  ``match_count`` local subscriptions for a freshly published page
+  version.  The policy decides whether the content should be stored
+  (and therefore transferred under Pushing-When-Necessary).
+* :meth:`Policy.on_request` — *access time*: a local user asked for the
+  current version of a page.  The policy reports hit/miss and performs
+  any access-time placement.
+
+Traffic accounting stays in the simulator: policies return what
+happened, the simulator prices it under the active pushing scheme.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.cache.stats import CacheStats
+
+
+@dataclass(frozen=True)
+class PushOutcome:
+    """Result of a push-time placement attempt.
+
+    Attributes:
+        stored: the page content now resides in the cache.
+        refreshed: an already-cached entry was updated to the new
+            version (implies ``stored``).
+    """
+
+    stored: bool
+    refreshed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.refreshed and not self.stored:
+            raise ValueError("refreshed implies stored")
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """Result of serving one user request.
+
+    Attributes:
+        hit: the current version was served from the local cache.
+        stale: a previous version was cached (still a miss; the fresh
+            version is fetched from the publisher).
+        cached_after: the requested page resides in the cache after the
+            request completed (policies may decline to keep it).
+    """
+
+    hit: bool
+    stale: bool = False
+    cached_after: bool = False
+
+    def __post_init__(self) -> None:
+        if self.hit and self.stale:
+            raise ValueError("a hit cannot be stale")
+
+
+class Policy(ABC):
+    """Base class for placement/replacement strategies on one proxy.
+
+    Args:
+        capacity_bytes: cache capacity of this proxy.
+        cost: fetch cost ``c(p)`` from this proxy to the publisher
+            (network hop distance; constant per proxy, per §3.1).
+    """
+
+    #: Registry name, set by subclasses (e.g. ``"gdstar"``).
+    name: str = "abstract"
+    #: Whether the strategy has a push-time module at all.  Pure
+    #: access-time policies (GD*, LRU, ...) set this False; the
+    #: simulator then never transfers pushed content to them, even
+    #: under Always-Pushing (§5.6: GD*'s traffic does not change with
+    #: the pushing scheme).
+    uses_push: bool = True
+
+    def __init__(self, capacity_bytes: int, cost: float = 1.0) -> None:
+        if capacity_bytes < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity_bytes}")
+        if cost <= 0:
+            raise ValueError(f"cost must be positive, got {cost}")
+        self.capacity_bytes = int(capacity_bytes)
+        self.cost = float(cost)
+        self.stats = CacheStats()
+
+    # -- the two placement opportunities ---------------------------------
+
+    @abstractmethod
+    def on_publish(
+        self, page_id: int, version: int, size: int, match_count: int, now: float
+    ) -> PushOutcome:
+        """Handle a matched publication (push-time placement)."""
+
+    @abstractmethod
+    def on_request(
+        self, page_id: int, version: int, size: int, match_count: int, now: float
+    ) -> RequestOutcome:
+        """Serve a user request for the current ``version`` of a page."""
+
+    # -- introspection ------------------------------------------------------
+
+    @abstractmethod
+    def contains(self, page_id: int) -> bool:
+        """Whether any version of ``page_id`` is currently cached."""
+
+    @abstractmethod
+    def cached_version(self, page_id: int) -> int:
+        """Version cached for ``page_id``; raises KeyError when absent."""
+
+    @property
+    @abstractmethod
+    def used_bytes(self) -> int:
+        """Bytes currently occupied."""
+
+    @abstractmethod
+    def check_invariants(self) -> None:
+        """Raise AssertionError if internal bookkeeping drifted."""
+
+    # -- shared helpers -----------------------------------------------------
+
+    def _record_request(
+        self, hit: bool, size: int, now: float, stale: bool = False
+    ) -> None:
+        """Update stats with one request, bucketed by hour."""
+        bucket = int(now // 3600.0)
+        self.stats.record_request(hit=hit, size=size, bucket=bucket, stale=stale)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(capacity={self.capacity_bytes}, "
+            f"used={self.used_bytes}, cost={self.cost})"
+        )

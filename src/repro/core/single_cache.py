@@ -1,0 +1,190 @@
+"""SG1 / SG2 / SR — single cache, single replacement method (§3.3).
+
+These strategies run both placement opportunities (push time and access
+time) against one shared cache with one evaluation function:
+
+* **SG1** — GD* with ``f = s + a`` (eq. 3): prediction plus history.
+* **SG2** — GD* with ``f = s − a`` (eq. 4): estimated *remaining*
+  references, assuming every subscriber reads a matched page once.
+* **SR**  — ``V = (s − a)·c/size`` (eq. 5): pure remaining-demand
+  frequency, no GD* aging.
+
+Placement is value-gated at *both* opportunities ("whether to store a
+page on a server is purely based on the value of the page"): a page is
+stored only if the cached pages cheaper than it can free enough room;
+on a cache miss the fetched page is forwarded to the user and discarded
+when its value is not high enough to reside in the cache.
+
+The access count ``a`` is **proxy-level and persistent**: the proxy
+serves every local request (forwarding misses to the publisher), so it
+observes the complete access history of a page whether or not the page
+is currently cached.  This is what makes eq. 4's "difference between
+subscriptions and past requests = future references" correct — with
+in-cache-only counts, a fully-read page whose modified version is
+re-published would come back with ``a = 0`` and its full subscription
+count and be re-admitted forever, which collapses SG2/SR into SUB.
+(GD*'s own frequency term keeps its In-Cache-LFU reset per §3.1; the
+reset is specific to that baseline.)
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+from repro.cache.entry import CacheEntry, ACCESS_MODULE, PUSH_MODULE
+from repro.core._base import HeapCache
+from repro.core.policy import Policy, PushOutcome, RequestOutcome
+from repro.core.values import gdstar_value, sg1_frequency, sg2_frequency, sr_value
+
+#: Evaluation modes and their registry names.
+SG1 = "sg1"
+SG2 = "sg2"
+SR = "sr"
+_MODES = (SG1, SG2, SR)
+
+
+class SingleCacheCombinedPolicy(Policy):
+    """Push-time + access-time placement with one evaluation function."""
+
+    name = "single-cache"
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        cost: float = 1.0,
+        mode: str = SG2,
+        beta: float = 2.0,
+    ) -> None:
+        super().__init__(capacity_bytes, cost)
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        self.mode = mode
+        self.name = mode
+        self.beta = float(beta)
+        self.inflation = 0.0
+        self._cache = HeapCache(capacity_bytes)
+        #: Persistent per-page access history observed at this proxy.
+        self._access_counts: Dict[int, int] = defaultdict(int)
+
+    # -- valuation ---------------------------------------------------------
+
+    def _value_of(self, match_count: int, access_count: int, size: int) -> float:
+        if self.mode == SG1:
+            frequency = sg1_frequency(match_count, access_count)
+            return gdstar_value(self.inflation, frequency, self.cost, size, self.beta)
+        if self.mode == SG2:
+            frequency = sg2_frequency(match_count, access_count)
+            return gdstar_value(self.inflation, frequency, self.cost, size, self.beta)
+        return sr_value(match_count, access_count, self.cost, size)
+
+    def _entry_value(self, entry: CacheEntry) -> float:
+        observed = self._access_counts[entry.page_id]
+        return self._value_of(entry.match_count, observed, entry.size)
+
+    def _settle_evictions(self, result) -> None:
+        for evicted in result.evicted:
+            self.stats.record_eviction(evicted.size)
+        if self.mode != SR and result.last_value is not None:
+            self.inflation = result.last_value
+
+    def _gated_place(self, entry: CacheEntry) -> bool:
+        """Value-gated placement shared by push and access time."""
+        value = self._entry_value(entry)
+        result = self._cache.evict_cheaper_for(entry.size, threshold=value)
+        if not result.success:
+            return False
+        self._settle_evictions(result)
+        # Re-value after the inflation update so the stored value is
+        # consistent with the heap ordering the entry will live under.
+        self._cache.add(entry, self._entry_value(entry))
+        return True
+
+    # -- push time -----------------------------------------------------------
+
+    def on_publish(
+        self, page_id: int, version: int, size: int, match_count: int, now: float
+    ) -> PushOutcome:
+        existing = self._cache.get(page_id)
+        if existing is not None:
+            if existing.version == version:
+                return PushOutcome(stored=False)
+            # Self-refresh: the new version replaces the cache's own
+            # stale copy (for the GD*-framework modes this also follows
+            # from the candidate rule — L has advanced since the entry
+            # was last valued, so the incoming version strictly
+            # out-prices the resident copy).  The entry keeps its last
+            # access-time valuation: a push is not an access, and
+            # re-inflating here would let frequently-updated but
+            # no-longer-read pages evade eviction forever.
+            existing.version = version
+            existing.match_count = match_count
+            self.stats.record_push(stored=True, size=size, transferred=True)
+            return PushOutcome(stored=True, refreshed=True)
+
+        entry = CacheEntry(
+            page_id=page_id,
+            version=version,
+            size=size,
+            cost=self.cost,
+            match_count=match_count,
+            module=PUSH_MODULE,
+            last_access_time=now,
+        )
+        stored = self._gated_place(entry)
+        self.stats.record_push(stored=stored, size=size, transferred=stored)
+        return PushOutcome(stored=stored)
+
+    # -- access time -------------------------------------------------------------
+
+    def on_request(
+        self, page_id: int, version: int, size: int, match_count: int, now: float
+    ) -> RequestOutcome:
+        self._access_counts[page_id] += 1
+        entry = self._cache.get(page_id)
+        if entry is not None and entry.version == version:
+            entry.record_access(now)
+            self._cache.reprice(entry, self._entry_value(entry))
+            self._record_request(hit=True, size=size, now=now)
+            return RequestOutcome(hit=True, cached_after=True)
+
+        if entry is not None:
+            entry.version = version
+            entry.record_access(now)
+            self._cache.reprice(entry, self._entry_value(entry))
+            self._record_request(hit=False, size=size, now=now, stale=True)
+            return RequestOutcome(hit=False, stale=True, cached_after=True)
+
+        self._record_request(hit=False, size=size, now=now)
+        entry = CacheEntry(
+            page_id=page_id,
+            version=version,
+            size=size,
+            cost=self.cost,
+            match_count=match_count,
+            access_count=self._access_counts[page_id],
+            module=ACCESS_MODULE,
+            last_access_time=now,
+        )
+        cached = self._gated_place(entry)
+        return RequestOutcome(hit=False, cached_after=cached)
+
+    # -- introspection -----------------------------------------------------------
+
+    def contains(self, page_id: int) -> bool:
+        return page_id in self._cache
+
+    def cached_version(self, page_id: int) -> int:
+        entry = self._cache.get(page_id)
+        if entry is None:
+            raise KeyError(f"page {page_id} not cached")
+        return entry.version
+
+    @property
+    def used_bytes(self) -> int:
+        return self._cache.used_bytes
+
+    def check_invariants(self) -> None:
+        self._cache.check_invariants()

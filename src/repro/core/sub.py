@@ -1,0 +1,124 @@
+"""SUB — push-time placement from subscription counts only (§3.2).
+
+When a page matching local subscriptions is published, SUB values it as
+
+    V(p) = s(p) · c(p) / size(p)                       (eq. 2)
+
+where ``s(p)`` is the number of matching subscriptions.  Pages already
+cached with a lower value are *candidates*; if the candidates (plus
+free space) cannot make room, the page is **not** stored and nothing is
+evicted.  SUB is push-time-only: on a cache miss it fetches and
+forwards the page without caching it, and page values never change
+after placement (subscriptions are static).
+"""
+
+from __future__ import annotations
+
+from repro.cache.entry import CacheEntry, PUSH_MODULE
+from repro.core._base import HeapCache
+from repro.core.policy import Policy, PushOutcome, RequestOutcome
+from repro.core.values import sub_value
+
+
+class SubPolicy(Policy):
+    """Subscription-driven push-time placement."""
+
+    name = "sub"
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        cost: float = 1.0,
+        refresh_on_push: bool = True,
+    ) -> None:
+        super().__init__(capacity_bytes, cost)
+        self._cache = HeapCache(capacity_bytes)
+        #: Whether a pushed new version may replace the cache's own
+        #: stale copy of the same page.  True (default) treats
+        #: self-replacement as natural; False applies the paper's
+        #: candidate rule literally ("pages whose values are LESS than
+        #: the new page's") — the resident copy prices identically and
+        #: can never be displaced, so it rots.  The two settings
+        #: bracket the paper's SUB behaviour; see the
+        #: ``ablation_sub_refresh`` benchmark.
+        self.refresh_on_push = refresh_on_push
+
+    # -- push time -------------------------------------------------------
+
+    def on_publish(
+        self, page_id: int, version: int, size: int, match_count: int, now: float
+    ) -> PushOutcome:
+        existing = self._cache.get(page_id)
+        if existing is not None:
+            if existing.version == version:
+                return PushOutcome(stored=False)
+            if not self.refresh_on_push:
+                self.stats.record_push(stored=False, size=size, transferred=False)
+                return PushOutcome(stored=False)
+            existing.version = version
+            existing.match_count = match_count
+            self._cache.reprice(existing, self._value(existing))
+            self.stats.record_push(stored=True, size=size, transferred=True)
+            return PushOutcome(stored=True, refreshed=True)
+
+        value = sub_value(match_count, self.cost, size)
+        result = self._cache.evict_cheaper_for(size, threshold=value)
+        if not result.success:
+            self.stats.record_push(stored=False, size=size, transferred=False)
+            return PushOutcome(stored=False)
+        for evicted in result.evicted:
+            self.stats.record_eviction(evicted.size)
+        entry = CacheEntry(
+            page_id=page_id,
+            version=version,
+            size=size,
+            cost=self.cost,
+            match_count=match_count,
+            module=PUSH_MODULE,
+            last_access_time=now,
+        )
+        self._cache.add(entry, value)
+        self.stats.record_push(stored=True, size=size, transferred=True)
+        return PushOutcome(stored=True)
+
+    # -- access time ----------------------------------------------------------
+
+    def on_request(
+        self, page_id: int, version: int, size: int, match_count: int, now: float
+    ) -> RequestOutcome:
+        entry = self._cache.get(page_id)
+        if entry is not None and entry.version == version:
+            entry.record_access(now)
+            self._record_request(hit=True, size=size, now=now)
+            return RequestOutcome(hit=True, cached_after=True)
+        if entry is not None:
+            # Stale copy: the fresh version is fetched and forwarded,
+            # but SUB performs no access-time placement (§3.2), so the
+            # cached bytes are NOT updated; the copy stays stale.
+            entry.record_access(now)
+            self._record_request(hit=False, size=size, now=now, stale=True)
+            return RequestOutcome(hit=False, stale=True, cached_after=True)
+        # Push-time-only: forward without caching (§3.2).
+        self._record_request(hit=False, size=size, now=now)
+        return RequestOutcome(hit=False, cached_after=False)
+
+    def _value(self, entry: CacheEntry) -> float:
+        return sub_value(entry.match_count, entry.cost, entry.size)
+
+    # -- introspection -----------------------------------------------------------
+
+    def contains(self, page_id: int) -> bool:
+        return page_id in self._cache
+
+    def cached_version(self, page_id: int) -> int:
+        entry = self._cache.get(page_id)
+        if entry is None:
+            raise KeyError(f"page {page_id} not cached")
+        return entry.version
+
+    @property
+    def used_bytes(self) -> int:
+        return self._cache.used_bytes
+
+    def check_invariants(self) -> None:
+        self._cache.check_invariants()

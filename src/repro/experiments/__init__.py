@@ -1,0 +1,77 @@
+"""Experiment harness: regenerate every table and figure of §5.
+
+One function per experiment, each returning structured results plus an
+ASCII rendering matching the paper's rows/series:
+
+=============  ==============================================  =========
+Experiment     Function                                        Paper
+=============  ==============================================  =========
+Fig. 3         :func:`~repro.experiments.figures.figure3`      §5.2
+Fig. 4a/4b     :func:`~repro.experiments.figures.figure4`      §5.3
+Table 2        :func:`~repro.experiments.tables.table2`        §5.3
+Fig. 5a/5b     :func:`~repro.experiments.figures.figure5`      §5.4
+Fig. 6a/6b     :func:`~repro.experiments.figures.figure6`      §5.5
+Fig. 7a/7b     :func:`~repro.experiments.figures.figure7`      §5.6
+β sweep        :func:`~repro.experiments.figures.beta_sweep`   §5.1
+=============  ==============================================  =========
+
+All experiments accept ``scale`` (1.0 = the paper's full-size workload;
+benchmarks default to a laptop-friendly fraction) and a ``seed``.
+"""
+
+from repro.experiments.spec import ExperimentGrid, GridResult, CellKey
+from repro.experiments.runner import (
+    trace_for,
+    run_cell,
+    run_grid,
+    paper_beta,
+)
+from repro.experiments.report import render_table, render_series
+from repro.experiments.figures import (
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    beta_sweep,
+)
+from repro.experiments.tables import table2
+from repro.experiments.calibrate import (
+    CalibrationResult,
+    calibrate_all,
+    calibrate_beta,
+    trace_prefix,
+)
+from repro.experiments.sensitivity import (
+    RobustComparison,
+    SeedSweep,
+    compare_across_seeds,
+    seed_sweep,
+)
+
+__all__ = [
+    "ExperimentGrid",
+    "GridResult",
+    "CellKey",
+    "trace_for",
+    "run_cell",
+    "run_grid",
+    "paper_beta",
+    "render_table",
+    "render_series",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "beta_sweep",
+    "table2",
+    "CalibrationResult",
+    "calibrate_all",
+    "calibrate_beta",
+    "trace_prefix",
+    "RobustComparison",
+    "SeedSweep",
+    "compare_across_seeds",
+    "seed_sweep",
+]

@@ -1,0 +1,72 @@
+"""Plain-text rendering of experiment results.
+
+The paper's figures are bar/line charts; in a terminal reproduction the
+same data renders as aligned tables and sparkline-style series so the
+rows/series can be compared against the paper at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+#: Eight-level block characters for text sparklines.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def render_table(
+    title: str,
+    column_names: Sequence[str],
+    rows: Dict[str, Sequence[float]],
+    value_format: str = "{:6.1f}",
+) -> str:
+    """Render ``{row_label: values}`` as an aligned ASCII table."""
+    label_width = max([len(label) for label in rows] + [8])
+    widths = [max(len(name), 7) for name in column_names]
+    lines = [title]
+    header = " " * label_width + " | " + "  ".join(
+        name.rjust(width) for name, width in zip(column_names, widths)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, values in rows.items():
+        cells = []
+        for value, width in zip(values, widths):
+            if value is None:
+                cells.append("-".rjust(width))
+            else:
+                cells.append(value_format.format(value).rjust(width))
+        lines.append(label.ljust(label_width) + " | " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], maximum: float = None) -> str:
+    """One-character-per-value block rendering of a series."""
+    if not values:
+        return ""
+    top = maximum if maximum is not None else max(values)
+    if top <= 0:
+        return _BLOCKS[0] * len(values)
+    out = []
+    for value in values:
+        level = int(round((len(_BLOCKS) - 1) * max(0.0, value) / top))
+        out.append(_BLOCKS[min(level, len(_BLOCKS) - 1)])
+    return "".join(out)
+
+
+def render_series(
+    title: str,
+    series: Dict[str, Sequence[float]],
+    maximum: float = None,
+    sample_every: int = 1,
+) -> str:
+    """Render per-hour series as labelled sparklines plus summaries."""
+    lines = [title]
+    label_width = max([len(label) for label in series] + [8])
+    for label, values in series.items():
+        sampled = list(values)[::sample_every]
+        mean = sum(values) / len(values) if values else 0.0
+        lines.append(
+            f"{label.ljust(label_width)} | mean={mean:8.2f} | "
+            f"{sparkline(sampled, maximum)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Seed-sensitivity analysis.
+
+The paper reports single numbers; a reproduction should know how much
+of a result is signal and how much is the seed.  This module re-runs a
+cell across several root seeds (new workload, subscription table and
+topology each time) and reports mean, standard deviation and range of
+the hit ratio, plus the same for a comparison strategy so relative
+claims ("SG2 beats GD*") can be tested across seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.experiments.runner import run_cell
+from repro.experiments.spec import CellKey
+
+
+@dataclass
+class SeedSweep:
+    """Hit ratios of one cell across seeds."""
+
+    key: CellKey
+    seeds: List[int]
+    hit_ratios: List[float]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.hit_ratios))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.hit_ratios))
+
+    @property
+    def spread(self) -> float:
+        return float(max(self.hit_ratios) - min(self.hit_ratios))
+
+    def render(self) -> str:
+        return (
+            f"{self.key.strategy:>7s} on {self.key.trace}: "
+            f"H = {100 * self.mean:.1f}% ± {100 * self.std:.1f} "
+            f"(range {100 * self.spread:.1f} over {len(self.seeds)} seeds)"
+        )
+
+
+def seed_sweep(
+    key: CellKey,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    scale: float = 0.1,
+) -> SeedSweep:
+    """Run ``key`` once per seed and collect the hit ratios."""
+    ratios = [
+        run_cell(key, scale=scale, seed=seed).hit_ratio for seed in seeds
+    ]
+    return SeedSweep(key=key, seeds=list(seeds), hit_ratios=ratios)
+
+
+@dataclass
+class RobustComparison:
+    """A relative claim evaluated per seed."""
+
+    better: SeedSweep
+    baseline: SeedSweep
+
+    @property
+    def wins(self) -> int:
+        """Seeds on which ``better`` actually beat ``baseline``."""
+        return sum(
+            1
+            for a, b in zip(self.better.hit_ratios, self.baseline.hit_ratios)
+            if a > b
+        )
+
+    @property
+    def mean_relative_gain(self) -> float:
+        gains = [
+            a / b - 1.0
+            for a, b in zip(self.better.hit_ratios, self.baseline.hit_ratios)
+            if b > 0
+        ]
+        return float(np.mean(gains)) if gains else 0.0
+
+    def render(self) -> str:
+        total = len(self.better.seeds)
+        return (
+            f"{self.better.key.strategy} vs {self.baseline.key.strategy} "
+            f"({self.better.key.trace}): wins {self.wins}/{total} seeds, "
+            f"mean relative gain {100 * self.mean_relative_gain:+.0f}%"
+        )
+
+
+def compare_across_seeds(
+    strategy: str,
+    baseline: str = "gdstar",
+    trace: str = "news",
+    capacity: float = 0.05,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    scale: float = 0.1,
+) -> RobustComparison:
+    """Evaluate "``strategy`` beats ``baseline``" on every seed."""
+    better = seed_sweep(
+        CellKey(trace, strategy, capacity), seeds=seeds, scale=scale
+    )
+    base = seed_sweep(
+        CellKey(trace, baseline, capacity), seeds=seeds, scale=scale
+    )
+    return RobustComparison(better=better, baseline=base)

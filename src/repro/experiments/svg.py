@@ -1,0 +1,227 @@
+"""Dependency-free SVG rendering of the paper's figures.
+
+The experiment harness produces structured data
+(:class:`~repro.experiments.figures.FigureResult`); this module turns
+it into standalone SVG files — grouped bar charts for the hit-ratio
+figures (3, 4, 5) and line charts for the time series (6, 7) — so a
+reproduction run can ship figure files next to the paper's.
+
+Pure string assembly, no plotting library: the charts are simple and
+the environment is offline by design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+#: A colour-blind-safe qualitative palette (Okabe–Ito).
+PALETTE = (
+    "#0072B2",
+    "#E69F00",
+    "#009E73",
+    "#D55E00",
+    "#CC79A7",
+    "#56B4E9",
+    "#F0E442",
+    "#000000",
+)
+
+_MARGIN_LEFT = 60
+_MARGIN_RIGHT = 20
+_MARGIN_TOP = 40
+_MARGIN_BOTTOM = 60
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _header(width: int, height: int, title: str) -> List[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="20" text-anchor="middle" '
+        f'font-size="14" font-weight="bold">{_escape(title)}</text>',
+    ]
+
+
+def _y_axis(height: int, plot_height: float, maximum: float, unit: str) -> List[str]:
+    parts = []
+    ticks = 5
+    for tick in range(ticks + 1):
+        value = maximum * tick / ticks
+        y = _MARGIN_TOP + plot_height * (1.0 - tick / ticks)
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT - 4}" y1="{y:.1f}" '
+            f'x2="{_MARGIN_LEFT}" y2="{y:.1f}" stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_LEFT - 8}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{value:g}{unit}</text>'
+        )
+        if tick:
+            parts.append(
+                f'<line x1="{_MARGIN_LEFT}" y1="{y:.1f}" x2="100%" '
+                f'y2="{y:.1f}" stroke="#dddddd" stroke-width="0.5"/>'
+            )
+    return parts
+
+
+def _legend(series_names: Sequence[str], width: int) -> List[str]:
+    parts = []
+    x = _MARGIN_LEFT
+    y = 32
+    for index, name in enumerate(series_names):
+        colour = PALETTE[index % len(PALETTE)]
+        parts.append(
+            f'<rect x="{x}" y="{y - 9}" width="10" height="10" fill="{colour}"/>'
+        )
+        parts.append(f'<text x="{x + 14}" y="{y}">{_escape(name)}</text>')
+        x += 14 + 8 * len(name) + 18
+    return parts
+
+
+def grouped_bar_chart(
+    title: str,
+    column_names: Sequence[str],
+    rows: Dict[str, Sequence[float]],
+    width: int = 640,
+    height: int = 360,
+    y_max: float = 100.0,
+    unit: str = "",
+) -> str:
+    """Render ``{series: values-per-column}`` as a grouped bar chart.
+
+    Matches the layout of the paper's Figures 3-5: one group per
+    x-axis setting (capacity or SQ), one bar per strategy.
+    """
+    plot_width = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_height = height - _MARGIN_TOP - _MARGIN_BOTTOM
+    group_count = len(column_names)
+    series_names = list(rows)
+    bar_slots = max(1, len(series_names))
+    group_width = plot_width / max(1, group_count)
+    bar_width = 0.8 * group_width / bar_slots
+
+    parts = _header(width, height, title)
+    parts += _y_axis(height, plot_height, y_max, unit)
+    parts += _legend(series_names, width)
+
+    for group_index, column in enumerate(column_names):
+        group_x = _MARGIN_LEFT + group_index * group_width
+        parts.append(
+            f'<text x="{group_x + group_width / 2:.1f}" '
+            f'y="{_MARGIN_TOP + plot_height + 18}" '
+            f'text-anchor="middle">{_escape(str(column))}</text>'
+        )
+        for series_index, name in enumerate(series_names):
+            value = rows[name][group_index]
+            if value is None:
+                continue
+            clamped = max(0.0, min(float(value), y_max))
+            bar_height = plot_height * clamped / y_max
+            x = group_x + 0.1 * group_width + series_index * bar_width
+            y = _MARGIN_TOP + plot_height - bar_height
+            colour = PALETTE[series_index % len(PALETTE)]
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_width:.1f}" '
+                f'height="{bar_height:.1f}" fill="{colour}">'
+                f"<title>{_escape(name)} @ {_escape(str(column))}: "
+                f"{value:.1f}</title></rect>"
+            )
+
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP + plot_height}" '
+        f'x2="{width - _MARGIN_RIGHT}" y2="{_MARGIN_TOP + plot_height}" '
+        f'stroke="black"/>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def line_chart(
+    title: str,
+    series: Dict[str, Sequence[float]],
+    width: int = 720,
+    height: int = 360,
+    y_max: float = None,
+    x_label: str = "hour",
+    unit: str = "",
+) -> str:
+    """Render per-hour series as a line chart (Figures 6 and 7)."""
+    plot_width = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_height = height - _MARGIN_TOP - _MARGIN_BOTTOM
+    longest = max((len(values) for values in series.values()), default=0)
+    if y_max is None:
+        peak = max(
+            (max(values) for values in series.values() if len(values)),
+            default=1.0,
+        )
+        y_max = max(1.0, 1.1 * peak)
+
+    parts = _header(width, height, title)
+    parts += _y_axis(height, plot_height, y_max, unit)
+    parts += _legend(list(series), width)
+
+    for series_index, (name, values) in enumerate(series.items()):
+        if not len(values):
+            continue
+        colour = PALETTE[series_index % len(PALETTE)]
+        points = []
+        for position, value in enumerate(values):
+            x = _MARGIN_LEFT + plot_width * position / max(1, longest - 1)
+            clamped = max(0.0, min(float(value), y_max))
+            y = _MARGIN_TOP + plot_height * (1.0 - clamped / y_max)
+            points.append(f"{x:.1f},{y:.1f}")
+        parts.append(
+            f'<polyline fill="none" stroke="{colour}" stroke-width="1.5" '
+            f'points="{" ".join(points)}"><title>{_escape(name)}</title>'
+            f"</polyline>"
+        )
+
+    # x axis with day ticks (24-hour steps for 7-day series).
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP + plot_height}" '
+        f'x2="{width - _MARGIN_RIGHT}" y2="{_MARGIN_TOP + plot_height}" '
+        f'stroke="black"/>'
+    )
+    step = 24 if longest > 48 else max(1, longest // 8)
+    for hour in range(0, longest, step):
+        x = _MARGIN_LEFT + plot_width * hour / max(1, longest - 1)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{_MARGIN_TOP + plot_height}" '
+            f'x2="{x:.1f}" y2="{_MARGIN_TOP + plot_height + 4}" stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{_MARGIN_TOP + plot_height + 18}" '
+            f'text-anchor="middle">{hour}</text>'
+        )
+    parts.append(
+        f'<text x="{width / 2}" y="{height - 10}" text-anchor="middle">'
+        f"{_escape(x_label)}</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def figure_to_svg(figure_result, kind: str = "bars", **kwargs) -> str:
+    """Render a :class:`FigureResult` to SVG.
+
+    ``kind`` is ``"bars"`` for the capacity/SQ figures and ``"lines"``
+    for the hourly series.
+    """
+    name = figure_result.name
+    data = figure_result.data
+    if kind == "bars":
+        first = next(iter(data.values()))
+        columns = kwargs.pop("column_names", None) or [
+            str(index) for index in range(len(first))
+        ]
+        return grouped_bar_chart(name, columns, data, **kwargs)
+    if kind == "lines":
+        return line_chart(name, data, **kwargs)
+    raise ValueError(f"unknown chart kind: {kind!r}")

@@ -1,0 +1,72 @@
+"""Barabási–Albert preferential-attachment topology.
+
+BRITE's second router-level model: nodes join one at a time and attach
+to ``links_per_node`` existing nodes with probability proportional to
+the targets' current degree, producing the heavy-tailed degree
+distributions observed in the Internet AS graph.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.network.graph import Graph
+
+
+def barabasi_albert_graph(
+    node_count: int,
+    rng: np.random.Generator,
+    links_per_node: int = 2,
+    plane_size: float = 1000.0,
+) -> Graph:
+    """Generate a connected Barabási–Albert graph.
+
+    Args:
+        node_count: number of nodes (must exceed ``links_per_node``).
+        rng: the random stream to draw from.
+        links_per_node: edges added by each joining node.
+        plane_size: side of the square used for cosmetic coordinates.
+
+    Returns:
+        A connected :class:`Graph`; edge weights are 1 (the model is
+        topological, not geometric) and positions are random, carried
+        only for plotting parity with the Waxman generator.
+    """
+    if links_per_node < 1:
+        raise ValueError(f"links_per_node must be >= 1, got {links_per_node}")
+    if node_count <= links_per_node:
+        raise ValueError(
+            f"node_count must exceed links_per_node "
+            f"({node_count} <= {links_per_node})"
+        )
+
+    graph = Graph()
+    coordinates = rng.uniform(0.0, plane_size, size=(node_count, 2))
+    for node in range(node_count):
+        graph.add_node(node)
+        graph.positions[node] = (float(coordinates[node, 0]), float(coordinates[node, 1]))
+
+    # Seed clique over the first links_per_node + 1 nodes.
+    seed_size = links_per_node + 1
+    for u in range(seed_size):
+        for v in range(u + 1, seed_size):
+            graph.add_edge(u, v, 1.0)
+
+    # repeated_nodes holds one entry per edge endpoint => sampling from it
+    # uniformly is sampling proportionally to degree.
+    repeated_nodes: List[int] = []
+    for u in range(seed_size):
+        repeated_nodes.extend([u] * graph.degree(u))
+
+    for node in range(seed_size, node_count):
+        targets: set = set()
+        while len(targets) < links_per_node:
+            candidate = repeated_nodes[int(rng.integers(len(repeated_nodes)))]
+            targets.add(candidate)
+        for target in sorted(targets):
+            graph.add_edge(node, target, 1.0)
+            repeated_nodes.append(target)
+        repeated_nodes.extend([node] * links_per_node)
+    return graph

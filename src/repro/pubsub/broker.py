@@ -1,0 +1,77 @@
+"""The publish/subscribe broker: matching + routing glued together.
+
+:class:`Broker` implements the conceptual system of the paper's
+Figure 1 for explicit subscription populations: producers call
+:meth:`Broker.publish`, the matching engine finds interested
+subscribers, and the routing engine carries one notification per
+matched proxy.  The content distribution engine (:mod:`repro.system`)
+hangs off the broker's delivery hook.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.network.topology import Topology
+from repro.pubsub.matching import MatchingEngine
+from repro.pubsub.pages import Notification, Page, PageVersion
+from repro.pubsub.routing import RoutingEngine
+from repro.pubsub.subscriptions import Subscription
+
+
+class Broker:
+    """A centralized broker over an overlay of proxy servers."""
+
+    def __init__(self, topology: Optional[Topology] = None) -> None:
+        self.matching = MatchingEngine()
+        self.routing = RoutingEngine(topology) if topology is not None else None
+        self._versions: Dict[int, int] = {}
+        self.published_count = 0
+        self.notification_count = 0
+
+    # -- flow 1: subscribe ---------------------------------------------------
+
+    def subscribe(self, subscription: Subscription) -> None:
+        """Register one subscriber interest."""
+        self.matching.subscribe(subscription)
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        self.matching.unsubscribe(subscription)
+
+    # -- flow 2 + 3: publish, match, notify -----------------------------------
+
+    def publish(self, page: Page, at: float = 0.0) -> PageVersion:
+        """Publish ``page`` (or a modification of it) and notify matches.
+
+        Returns the concrete :class:`PageVersion` created.  Repeated
+        publications of the same ``page_id`` increment the version.
+        """
+        version_number = self._versions.get(page.page_id, -1) + 1
+        self._versions[page.page_id] = version_number
+        page_version = PageVersion(page=page, version=version_number, published_at=at)
+        self.published_count += 1
+
+        counts = self.matching.match_counts(page)
+        if counts and self.routing is not None:
+            proxy_indices = sorted(counts)
+            for proxy_index in proxy_indices:
+                notification = Notification(
+                    page_id=page.page_id,
+                    version=version_number,
+                    size=page.size,
+                    published_at=at,
+                    match_count=counts[proxy_index],
+                )
+                self.routing.deliver(notification, [proxy_index])
+                self.notification_count += 1
+        elif counts:
+            self.notification_count += len(counts)
+        return page_version
+
+    def current_version(self, page_id: int) -> Optional[int]:
+        """Latest published version of ``page_id``, if any."""
+        return self._versions.get(page_id)
+
+    def matched_proxies(self, page: Page) -> List[int]:
+        """Proxies with at least one matching subscription for ``page``."""
+        return sorted(self.matching.match_counts(page))

@@ -1,0 +1,179 @@
+"""Matching engines.
+
+Two implementations of a single protocol:
+
+* :class:`MatchingEngine` — a real counting-based matcher over explicit
+  :class:`~repro.pubsub.subscriptions.Subscription` objects, in the
+  style of Fabret et al. (SIGMOD 2001).  Index-friendly predicates
+  (topic/equality/membership) resolve through inverted indexes; the
+  remaining predicates are evaluated only for subscriptions whose
+  indexed part already matched (or that have no indexed part).
+* :class:`TraceMatchCounts` — the paper's §4.3 construction: a static
+  table of "number of subscriptions at proxy j matching page i",
+  derived from request counts and the subscription quality SQ by
+  :mod:`repro.workload.subscriptions`.
+
+The content distribution engine only consumes *per-proxy match counts*,
+so either implementation can drive a simulation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Protocol, Sequence, Set, Tuple
+
+from repro.pubsub.pages import Page
+from repro.pubsub.subscriptions import Subscription
+
+
+class MatchCountProvider(Protocol):
+    """Per-proxy subscription match counts for a page."""
+
+    def match_counts(self, page: Page) -> Dict[int, int]:
+        """Map proxy_id -> number of matching subscriptions (omit zeros)."""
+        ...  # pragma: no cover - protocol
+
+
+class MatchingEngine:
+    """Counting-based content matcher over explicit subscriptions.
+
+    Each subscription is split into an *indexed part* (terms served by
+    inverted indexes) and a *residual part* (keyword and range
+    predicates, evaluated lazily).  For an incoming page the engine:
+
+    1. looks up every (attribute, value) pair of the page in the
+       indexes, counting hits per subscription;
+    2. selects subscriptions whose required indexed-term count is met;
+    3. evaluates residual predicates for those (plus purely residual
+       subscriptions registered in a scan list);
+    4. aggregates matches per proxy.
+    """
+
+    def __init__(self) -> None:
+        self._subscriptions: Dict[int, Subscription] = {}
+        # (attribute, value) -> subscription ids having that term.
+        self._index: Dict[Tuple[str, object], Set[int]] = defaultdict(set)
+        # subscription id -> number of indexed predicates that must hit.
+        self._required_hits: Dict[int, int] = {}
+        # Subscriptions with no indexable predicate: always evaluated.
+        self._scan_list: Set[int] = set()
+
+    # -- registration ---------------------------------------------------
+
+    def subscribe(self, subscription: Subscription) -> None:
+        """Register a subscription (idempotent per subscription_id)."""
+        sid = subscription.subscription_id
+        if sid in self._subscriptions:
+            return
+        self._subscriptions[sid] = subscription
+        indexed_predicates = 0
+        for predicate in subscription.predicates:
+            terms = predicate.indexable_terms
+            if terms is None:
+                continue
+            indexed_predicates += 1
+            for term in terms:
+                self._index[term].add(sid)
+        if indexed_predicates:
+            self._required_hits[sid] = indexed_predicates
+        else:
+            self._scan_list.add(sid)
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Remove a subscription; unknown ids are ignored."""
+        sid = subscription.subscription_id
+        if sid not in self._subscriptions:
+            return
+        del self._subscriptions[sid]
+        self._required_hits.pop(sid, None)
+        self._scan_list.discard(sid)
+        for bucket in self._index.values():
+            bucket.discard(sid)
+
+    def subscribe_all(self, subscriptions: Iterable[Subscription]) -> None:
+        for subscription in subscriptions:
+            self.subscribe(subscription)
+
+    @property
+    def subscription_count(self) -> int:
+        return len(self._subscriptions)
+
+    # -- matching ---------------------------------------------------------
+
+    def matching_subscriptions(self, page: Page) -> List[Subscription]:
+        """All registered subscriptions matching ``page``."""
+        hits: Dict[int, int] = defaultdict(int)
+        page_terms = list(page.attribute_dict.items())
+        for term in page_terms:
+            for sid in self._index.get(term, ()):
+                hits[sid] += 1
+
+        candidates: Set[int] = set(self._scan_list)
+        for sid, hit_count in hits.items():
+            required = self._required_hits.get(sid, 0)
+            # A membership predicate can hit several of its terms on one
+            # page only if the page had several values — pages carry one
+            # value per attribute, so >= is correct and also tolerant.
+            if hit_count >= required:
+                candidates.add(sid)
+
+        matched = []
+        for sid in candidates:
+            subscription = self._subscriptions[sid]
+            if subscription.matches(page):
+                matched.append(subscription)
+        matched.sort(key=lambda sub: sub.subscription_id)
+        return matched
+
+    def match_counts(self, page: Page) -> Dict[int, int]:
+        """Per-proxy count of subscriptions matching ``page``."""
+        counts: Dict[int, int] = defaultdict(int)
+        for subscription in self.matching_subscriptions(page):
+            counts[subscription.proxy_id] += 1
+        return dict(counts)
+
+
+class TraceMatchCounts:
+    """Static match-count table (the paper's eq. 7 construction).
+
+    The subscription information of interest is only "the number of
+    subscriptions matching every page at every server" (§4.3); this
+    class stores exactly that, keyed by page_id.
+    """
+
+    def __init__(self, table: Mapping[int, Mapping[int, int]]) -> None:
+        self._table: Dict[int, Dict[int, int]] = {}
+        for page_id, per_proxy in table.items():
+            cleaned = {
+                int(proxy): int(count)
+                for proxy, count in per_proxy.items()
+                if count > 0
+            }
+            if any(count < 0 for count in per_proxy.values()):
+                raise ValueError(f"negative match count for page {page_id}")
+            if cleaned:
+                self._table[int(page_id)] = cleaned
+
+    def match_counts(self, page: Page) -> Dict[int, int]:
+        """Counts for ``page`` (modified versions match like originals)."""
+        return dict(self._table.get(page.page_id, {}))
+
+    def match_counts_by_id(self, page_id: int) -> Dict[int, int]:
+        """Counts looked up by page_id (the trace-driven simulator's path)."""
+        return dict(self._table.get(page_id, {}))
+
+    def count_for(self, page_id: int, proxy_id: int) -> int:
+        """Convenience scalar lookup."""
+        return self._table.get(page_id, {}).get(proxy_id, 0)
+
+    @property
+    def page_ids(self) -> Sequence[int]:
+        return list(self._table)
+
+    def total_subscriptions(self) -> int:
+        """Sum of all match counts (an upper bound on future requests)."""
+        return sum(
+            count
+            for per_proxy in self._table.values()
+            for count in per_proxy.values()
+        )

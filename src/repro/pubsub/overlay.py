@@ -1,0 +1,204 @@
+"""A distributed broker overlay (Fig. 1: "these engines may be
+centralized or distributed").
+
+:class:`BrokerTree` spreads the matching work over a tree of brokers
+rooted at the publisher, in the style of Siena's hierarchical servers:
+
+* every proxy attaches to its nearest broker (leaf side);
+* subscriptions propagate **upward** with aggregation — a broker only
+  forwards a predicate set its parent has not seen yet, so the root is
+  not a bottleneck for duplicate interests (the covering idea of
+  Carzaniga et al., applied at predicate granularity);
+* publications flow **downward** only along branches whose aggregated
+  subscriptions match, with matching re-evaluated at each hop against
+  that broker's own subscription store.
+
+The result is functionally equivalent to the centralized
+:class:`~repro.pubsub.broker.Broker` (same per-proxy match counts — the
+test suite verifies the equivalence exactly) while distributing both
+the matching work and the notification fan-out.  The class also counts
+per-broker matching evaluations and per-link control messages so the
+examples can show the load distribution.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.network.topology import Topology
+from repro.pubsub.matching import MatchingEngine
+from repro.pubsub.pages import Page
+from repro.pubsub.routing import RoutingTable
+from repro.pubsub.subscriptions import Predicate, Subscription
+
+
+class BrokerNode:
+    """One broker in the tree: a local matching engine plus links."""
+
+    def __init__(self, node_id: int, parent: Optional["BrokerNode"]) -> None:
+        self.node_id = node_id
+        self.parent = parent
+        self.children: List["BrokerNode"] = []
+        self.engine = MatchingEngine()
+        #: Predicate sets already forwarded upward (covering filter).
+        self._forwarded: Set[Tuple[Predicate, ...]] = set()
+        #: Proxies attached directly to this broker.
+        self.attached_proxies: Set[int] = set()
+        #: Matching evaluations performed at this broker.
+        self.match_evaluations = 0
+
+    def covers(self, predicates: Tuple[Predicate, ...]) -> bool:
+        """Whether an equivalent interest was already forwarded up."""
+        return predicates in self._forwarded
+
+    def mark_forwarded(self, predicates: Tuple[Predicate, ...]) -> None:
+        self._forwarded.add(predicates)
+
+
+class BrokerTree:
+    """A tree of brokers over a :class:`Topology`.
+
+    The tree is the shortest-path tree rooted at the publisher node, so
+    notification paths coincide with the centralized router's paths and
+    traffic numbers are comparable.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        table = RoutingTable(topology)
+        self._nodes: Dict[int, BrokerNode] = {}
+        root_id = topology.publisher_node
+        self.root = self._materialize(root_id, table)
+        # Attach each proxy to the broker on its own node.
+        for proxy_index, node in enumerate(topology.proxy_nodes):
+            self._nodes[node].attached_proxies.add(proxy_index)
+        #: (parent, child) -> subscription-propagation messages.
+        self.control_messages: Dict[Tuple[int, int], int] = defaultdict(int)
+        #: (parent, child) -> publication messages carried.
+        self.publication_messages: Dict[Tuple[int, int], int] = defaultdict(int)
+        self.published_count = 0
+
+    def _materialize(self, root_id: int, table: RoutingTable) -> BrokerNode:
+        root = BrokerNode(root_id, parent=None)
+        self._nodes[root_id] = root
+        # Build children lists from the routing table's parent pointers.
+        for node in self.topology.graph.nodes():
+            if node == root_id or node not in table._parent:
+                continue
+            self._ensure_chain(node, table)
+        return root
+
+    def _ensure_chain(self, node: int, table: RoutingTable) -> BrokerNode:
+        existing = self._nodes.get(node)
+        if existing is not None:
+            return existing
+        parent_id = table._parent[node]
+        parent = self._ensure_chain(parent_id, table)
+        broker = BrokerNode(node, parent=parent)
+        parent.children.append(broker)
+        self._nodes[node] = broker
+        return broker
+
+    @property
+    def broker_count(self) -> int:
+        return len(self._nodes)
+
+    def broker_for_proxy(self, proxy_index: int) -> BrokerNode:
+        node = self.topology.proxy_nodes[proxy_index]
+        return self._nodes[node]
+
+    # -- flow 1: subscribe with upward aggregation -------------------------
+
+    def subscribe(self, subscription: Subscription) -> int:
+        """Register a subscription at the subscriber's local broker and
+        propagate the (deduplicated) interest toward the root.
+
+        Returns the number of upward control messages this subscription
+        caused — 0 when every broker on the path had already forwarded
+        an identical predicate set (the covering win).
+        """
+        broker = self.broker_for_proxy(subscription.proxy_id)
+        broker.engine.subscribe(subscription)
+        messages = 0
+        predicates = subscription.predicates
+        current = broker
+        while current.parent is not None:
+            if current.covers(predicates):
+                break
+            current.mark_forwarded(predicates)
+            edge = (current.parent.node_id, current.node_id)
+            self.control_messages[edge] += 1
+            # The parent needs an interest entry so publications are
+            # routed down this branch; proxy_id keeps the leaf target.
+            current.parent.engine.subscribe(
+                Subscription(
+                    subscriber_id=subscription.subscriber_id,
+                    proxy_id=subscription.proxy_id,
+                    predicates=predicates,
+                )
+            )
+            messages += 1
+            current = current.parent
+        return messages
+
+    # -- flow 2+3: publish, match hop by hop, notify ------------------------
+
+    def match_counts(self, page: Page) -> Dict[int, int]:
+        """Per-proxy match counts, computed by tree descent.
+
+        Only branches whose broker has at least one matching interest
+        are descended into; every visited broker pays one matching
+        evaluation (the distributed-work measurement).
+        """
+        self.published_count += 1
+        counts: Dict[int, int] = defaultdict(int)
+        frontier = [self.root]
+        while frontier:
+            broker = frontier.pop()
+            broker.match_evaluations += 1
+            matched = broker.engine.matching_subscriptions(page)
+            if not matched:
+                continue
+            matched_proxies = {sub.proxy_id for sub in matched}
+            for proxy_index in matched_proxies & broker.attached_proxies:
+                # Leaf delivery: count this broker's own subscribers.
+                counts[proxy_index] = sum(
+                    1
+                    for sub in matched
+                    if sub.proxy_id == proxy_index
+                )
+            for child in broker.children:
+                descend = self._branch_has_interest(child, matched_proxies)
+                if descend:
+                    edge = (broker.node_id, child.node_id)
+                    self.publication_messages[edge] += 1
+                    frontier.append(child)
+        return dict(counts)
+
+    def _branch_has_interest(
+        self, child: BrokerNode, matched_proxies: Set[int]
+    ) -> bool:
+        """Whether any matched proxy lives somewhere under ``child``."""
+        stack = [child]
+        while stack:
+            broker = stack.pop()
+            if broker.attached_proxies & matched_proxies:
+                return True
+            stack.extend(broker.children)
+        return False
+
+    # -- measurements --------------------------------------------------------
+
+    def total_control_messages(self) -> int:
+        return sum(self.control_messages.values())
+
+    def total_publication_messages(self) -> int:
+        return sum(self.publication_messages.values())
+
+    def evaluation_load(self) -> Dict[int, int]:
+        """Matching evaluations per broker node (load distribution)."""
+        return {
+            node_id: broker.match_evaluations
+            for node_id, broker in self._nodes.items()
+        }

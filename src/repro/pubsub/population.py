@@ -1,0 +1,142 @@
+"""Materializing subscription tables into explicit populations.
+
+The experiments drive the simulator with eq. 7's *counts*
+(`TraceMatchCounts`).  This module closes the loop to a real
+publish/subscribe system: it synthesizes an explicit
+:class:`~repro.pubsub.subscriptions.Subscription` population whose
+match counts are **exactly** a given table, registers it with a
+:class:`~repro.pubsub.matching.MatchingEngine` (or a distributed
+:class:`~repro.pubsub.overlay.BrokerTree`), and adapts the engine to
+the simulator's ``match_counts_by_id`` interface.
+
+Construction: every page carries a topic ``page:<id>`` plus a category
+``cat:<page_id mod categories>``; a table entry ``S(i, j) = k`` becomes
+``k`` subscribers at proxy ``j``.  Most subscribe to the page topic
+directly; with ``category_fraction > 0`` a share subscribe to the
+page's *category and* its topic — exercising multi-predicate matching
+while preserving exact counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.pubsub.matching import MatchingEngine
+from repro.pubsub.pages import Page
+from repro.pubsub.subscriptions import Subscription, attribute_equals, topic_is
+
+
+def page_topic(page_id: int) -> str:
+    """The synthetic topic a page publishes under."""
+    return f"page:{page_id}"
+
+
+def page_category(page_id: int, categories: int = 16) -> str:
+    """The synthetic category of a page (stable hash bucket)."""
+    return f"cat:{page_id % max(1, categories)}"
+
+
+def make_page(page_id: int, size: int, categories: int = 16) -> Page:
+    """A :class:`Page` carrying the synthetic topic/category metadata."""
+    return Page(
+        page_id=page_id,
+        size=size,
+        topic=page_topic(page_id),
+        attributes=(("category", page_category(page_id, categories)),),
+    )
+
+
+def build_population(
+    table: Mapping[int, Mapping[int, int]],
+    rng: np.random.Generator,
+    category_fraction: float = 0.25,
+    categories: int = 16,
+) -> List[Subscription]:
+    """Subscriptions whose per-proxy match counts equal ``table``.
+
+    Args:
+        table: ``table[page_id][proxy_id] = count`` (eq. 7 output).
+        rng: stream deciding which subscribers get the richer
+            two-predicate form.
+        category_fraction: share of subscribers whose subscription is
+            ``category == cat(page) AND topic == page:<id>`` instead of
+            the bare topic (same match semantics, more predicates).
+        categories: number of category buckets.
+    """
+    if not 0.0 <= category_fraction <= 1.0:
+        raise ValueError(
+            f"category_fraction must be in [0, 1], got {category_fraction}"
+        )
+    population: List[Subscription] = []
+    subscriber = 0
+    for page_id in sorted(table):
+        for proxy_id in sorted(table[page_id]):
+            for _ in range(int(table[page_id][proxy_id])):
+                predicates: Tuple = (topic_is(page_topic(page_id)),)
+                if rng.uniform() < category_fraction:
+                    predicates = (
+                        attribute_equals(
+                            "category", page_category(page_id, categories)
+                        ),
+                    ) + predicates
+                population.append(
+                    Subscription(
+                        subscriber_id=subscriber,
+                        proxy_id=int(proxy_id),
+                        predicates=predicates,
+                    )
+                )
+                subscriber += 1
+    return population
+
+
+class EngineMatchCounts:
+    """Adapt a live matcher to the simulator's count interface.
+
+    Wraps any object with ``match_counts(page)`` (a
+    :class:`MatchingEngine` or a :class:`~repro.pubsub.overlay.BrokerTree`)
+    plus the page metadata needed to reconstruct pages from ids, and
+    memoizes per page — subscriptions are static, so the counts are
+    too.
+    """
+
+    def __init__(
+        self, engine, sizes: Mapping[int, int], categories: int = 16
+    ) -> None:
+        self._engine = engine
+        self._sizes = dict(sizes)
+        self._categories = categories
+        self._memo: Dict[int, Dict[int, int]] = {}
+
+    def match_counts(self, page: Page) -> Dict[int, int]:
+        return self.match_counts_by_id(page.page_id)
+
+    def match_counts_by_id(self, page_id: int) -> Dict[int, int]:
+        counts = self._memo.get(page_id)
+        if counts is None:
+            page = make_page(
+                page_id, self._sizes.get(page_id, 1), self._categories
+            )
+            counts = dict(self._engine.match_counts(page))
+            self._memo[page_id] = counts
+        return dict(counts)
+
+    def count_for(self, page_id: int, proxy_id: int) -> int:
+        return self.match_counts_by_id(page_id).get(proxy_id, 0)
+
+
+def engine_from_table(
+    table: Mapping[int, Mapping[int, int]],
+    sizes: Mapping[int, int],
+    rng: np.random.Generator,
+    category_fraction: float = 0.25,
+) -> EngineMatchCounts:
+    """One call from eq. 7 table to a simulator-ready live matcher."""
+    engine = MatchingEngine()
+    for subscription in build_population(
+        table, rng, category_fraction=category_fraction
+    ):
+        engine.subscribe(subscription)
+    return EngineMatchCounts(engine, sizes)

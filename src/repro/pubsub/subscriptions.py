@@ -1,0 +1,162 @@
+"""Subscriptions and content-based predicates.
+
+A subscription is a conjunction of predicates over page metadata; a page
+matches when every predicate holds.  Predicates come in the forms a news
+notification service needs:
+
+* ``topic_is("sports")`` — topic/category subscription,
+* ``keyword_any({"election", "senate"})`` — at least one keyword,
+* ``keyword_all({"nba", "finals"})`` — all keywords,
+* ``attribute_equals("region", "eu")`` — equality on an attribute,
+* ``attribute_in("region", {"eu", "us"})`` — membership,
+* ``attribute_range("priority", low=3)`` — numeric range.
+
+Equality and topic predicates are index-friendly: the matching engine
+resolves them through inverted indexes rather than evaluation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, FrozenSet, Optional, Tuple
+
+from repro.pubsub.pages import Page
+
+_subscription_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A single condition over a page.
+
+    Attributes:
+        kind: predicate family (``"topic"``, ``"kw_any"``, ``"kw_all"``,
+            ``"eq"``, ``"in"``, ``"range"``).
+        attribute: attribute name (empty for keyword/topic predicates).
+        operand: the comparison operand (value, frozenset or bounds).
+    """
+
+    kind: str
+    attribute: str
+    operand: Any
+
+    @property
+    def indexable_terms(self) -> Optional[Tuple[Tuple[str, Any], ...]]:
+        """(attribute, value) terms an inverted index can serve, or None.
+
+        Equality has one term; topic is equality on ``"topic"``;
+        ``in``-predicates expand to one term per member (any satisfies).
+        Keyword and range predicates are not index-friendly here.
+        """
+        if self.kind == "eq":
+            return ((self.attribute, self.operand),)
+        if self.kind == "topic":
+            return (("topic", self.operand),)
+        if self.kind == "in":
+            return tuple((self.attribute, value) for value in sorted(self.operand, key=repr))
+        return None
+
+    def matches(self, page: Page) -> bool:
+        """Evaluate the predicate against ``page``."""
+        if self.kind == "topic":
+            return page.topic == self.operand
+        if self.kind == "kw_any":
+            return bool(page.keywords & self.operand)
+        if self.kind == "kw_all":
+            return self.operand <= page.keywords
+        attributes = page.attribute_dict
+        if self.kind == "eq":
+            return attributes.get(self.attribute) == self.operand
+        if self.kind == "in":
+            return attributes.get(self.attribute) in self.operand
+        if self.kind == "range":
+            low, high = self.operand
+            value = attributes.get(self.attribute)
+            if not isinstance(value, (int, float)):
+                return False
+            if low is not None and value < low:
+                return False
+            if high is not None and value > high:
+                return False
+            return True
+        raise ValueError(f"unknown predicate kind: {self.kind!r}")
+
+
+def topic_is(topic: str) -> Predicate:
+    """Match pages whose topic equals ``topic``."""
+    return Predicate(kind="topic", attribute="", operand=topic)
+
+
+def keyword_any(keywords) -> Predicate:
+    """Match pages containing at least one of ``keywords``."""
+    keywords = frozenset(keywords)
+    if not keywords:
+        raise ValueError("keyword_any requires at least one keyword")
+    return Predicate(kind="kw_any", attribute="", operand=keywords)
+
+
+def keyword_all(keywords) -> Predicate:
+    """Match pages containing every keyword in ``keywords``."""
+    keywords = frozenset(keywords)
+    if not keywords:
+        raise ValueError("keyword_all requires at least one keyword")
+    return Predicate(kind="kw_all", attribute="", operand=keywords)
+
+
+def attribute_equals(attribute: str, value: Any) -> Predicate:
+    """Match pages whose ``attribute`` equals ``value``."""
+    return Predicate(kind="eq", attribute=attribute, operand=value)
+
+
+def attribute_in(attribute: str, values) -> Predicate:
+    """Match pages whose ``attribute`` is one of ``values``."""
+    values = frozenset(values)
+    if not values:
+        raise ValueError("attribute_in requires at least one value")
+    return Predicate(kind="in", attribute=attribute, operand=values)
+
+
+def attribute_range(
+    attribute: str, low: Optional[float] = None, high: Optional[float] = None
+) -> Predicate:
+    """Match pages whose numeric ``attribute`` lies in [low, high]."""
+    if low is None and high is None:
+        raise ValueError("attribute_range requires at least one bound")
+    if low is not None and high is not None and low > high:
+        raise ValueError(f"empty range: low={low} > high={high}")
+    return Predicate(kind="range", attribute=attribute, operand=(low, high))
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """A subscriber's statement of interest: a conjunction of predicates.
+
+    Attributes:
+        subscriber_id: the end-user who owns the subscription.
+        proxy_id: the proxy server that aggregates this subscriber.
+        predicates: conjunction; empty means "everything".
+        subscription_id: unique id assigned at creation.
+    """
+
+    subscriber_id: int
+    proxy_id: int
+    predicates: Tuple[Predicate, ...] = ()
+    subscription_id: int = field(default_factory=lambda: next(_subscription_ids))
+
+    def matches(self, page: Page) -> bool:
+        """``True`` when every predicate holds for ``page``."""
+        return all(predicate.matches(page) for predicate in self.predicates)
+
+    @property
+    def keyword_terms(self) -> FrozenSet[str]:
+        """All keywords referenced anywhere in the subscription."""
+        terms = set()
+        for predicate in self.predicates:
+            if predicate.kind in ("kw_any", "kw_all"):
+                terms |= predicate.operand
+        return frozenset(terms)
+
+
+#: Signature of a subscription generator used by examples/tests.
+SubscriptionFactory = Callable[[int, int], Subscription]

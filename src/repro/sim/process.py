@@ -1,0 +1,102 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator that yields :class:`~repro.sim.engine.Event`
+instances.  Each yielded event suspends the process until the event is
+processed; its value (or exception) is sent (or thrown) back into the
+generator.  A process is itself an event that triggers when the
+generator returns, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.engine import Environment, Event, SimulationError
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running simulation process (also a waitable event).
+
+    The process starts at the current simulation time: the first resume
+    is scheduled immediately rather than executed inline, so creation
+    order does not leak into execution order beyond agenda order.
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, env: Environment, generator: Generator[Event, Any, Any]) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process target must be a generator, got {type(generator).__name__}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Event = env.timeout(0.0)
+        self._waiting_on.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the underlying generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        waiting_on = self._waiting_on
+        if waiting_on is not None and self._resume in waiting_on.callbacks:
+            waiting_on.callbacks.remove(self._resume)
+        interrupt_event = Event(self.env)
+        interrupt_event.callbacks.append(self._resume)
+        interrupt_event.fail(Interrupt(cause))
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        except Interrupt as interrupt:
+            # The generator chose not to catch the interrupt.
+            self.fail(interrupt)
+            return
+        if not isinstance(target, Event):
+            self._generator.close()
+            self.fail(
+                SimulationError(
+                    f"process yielded a non-event: {target!r}; yield Event/Timeout"
+                )
+            )
+            return
+        if target.processed:
+            # Already-processed events resume the process immediately
+            # (at the current time) instead of never waking it.
+            relay = Event(self.env)
+            relay.callbacks.append(self._resume)
+            if target.ok:
+                relay.succeed(target.value)
+            else:
+                relay._triggered = True
+                relay._ok = False
+                relay._value = target.value
+                self.env._enqueue(self.env.now, 1, relay)
+            self._waiting_on = relay
+            return
+        self._waiting_on = target
+        target.callbacks.append(self._resume)

@@ -1,0 +1,131 @@
+"""Queueing resources for process-style models.
+
+These mirror SimPy's ``Resource`` and ``Store`` closely enough that the
+examples read like standard discrete-event code.  The trace-driven
+content distribution simulator does not need them, but the live broker
+example (``examples/live_broker.py``) models publisher/proxy message
+queues with :class:`Store`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List
+
+from repro.sim.engine import Environment, Event, SimulationError
+
+
+class Request(Event):
+    """A pending acquisition of a :class:`Resource` slot.
+
+    Supports the context-manager protocol so processes can write::
+
+        with resource.request() as req:
+            yield req
+            ...
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._dispatch()
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A resource with ``capacity`` identical slots and FIFO queueing."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._queue: Deque[Request] = deque()
+        self._users: List[Request] = []
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Queue for a slot; the returned event fires when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Return a slot.  Releasing an ungranted request cancels it."""
+        if request in self._users:
+            self._users.remove(request)
+        elif request in self._queue:
+            self._queue.remove(request)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            request = self._queue.popleft()
+            self._users.append(request)
+            request.succeed(request)
+
+
+class Store:
+    """An unbounded-or-bounded FIFO buffer of Python objects.
+
+    ``put`` events fire when the item is accepted; ``get`` events fire
+    with the item as their value.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._putters: Deque[Event] = deque()
+        self._put_items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> Event:
+        """Offer ``item`` to the store."""
+        event = Event(self.env)
+        self._putters.append(event)
+        self._put_items.append(item)
+        self._dispatch()
+        return event
+
+    def get(self) -> Event:
+        """Take the oldest item; waits until one is available."""
+        event = Event(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        # Accept queued puts while there is room.
+        while self._putters and len(self.items) < self.capacity:
+            put_event = self._putters.popleft()
+            item = self._put_items.popleft()
+            self.items.append(item)
+            put_event.succeed()
+        # Satisfy queued gets while items exist.
+        while self._getters and self.items:
+            get_event = self._getters.popleft()
+            get_event.succeed(self.items.pop(0))
+            # Freed capacity may admit a queued put.
+            while self._putters and len(self.items) < self.capacity:
+                put_event = self._putters.popleft()
+                item = self._put_items.popleft()
+                self.items.append(item)
+                put_event.succeed()

@@ -1,0 +1,135 @@
+"""Cooperative proxies — an extension beyond the paper.
+
+The paper's proxies are independent: every miss goes to the publisher.
+Its related-work section discusses cooperative/hierarchical caching
+(Gadde et al.; Wolman et al.), so this extension adds the natural next
+step: on a local miss, a proxy first asks its ``neighbor_count``
+closest peers (by overlay hop distance) for the *current version* of
+the page and fetches from the nearest holder instead of the origin.
+
+Placement decisions are untouched — each proxy still runs its own
+strategy on local information — so the comparison isolates how much
+peering adds on top of each content distribution strategy.  Peer
+fetches are counted separately (``peer_fetch_pages``) and priced at the
+inter-proxy distance in the response-time model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.topology import Topology
+from repro.pubsub.matching import TraceMatchCounts
+from repro.system.config import SimulationConfig
+from repro.system.metrics import SimulationResult
+from repro.system.simulator import Simulation
+from repro.workload.trace import Workload
+
+
+class CooperativeSimulation(Simulation):
+    """A :class:`Simulation` whose proxies answer each other's misses."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: SimulationConfig,
+        match_table: Optional[TraceMatchCounts] = None,
+        topology: Optional[Topology] = None,
+        neighbor_count: int = 3,
+    ) -> None:
+        if neighbor_count < 0:
+            raise ValueError(f"neighbor_count must be >= 0, got {neighbor_count}")
+        super().__init__(workload, config, match_table, topology)
+        self.neighbor_count = int(neighbor_count)
+        self._neighbors = self._nearest_neighbors()
+        self.peer_fetch_pages = 0
+        self.peer_fetch_bytes = 0
+        self.peer_fetch_pages_by_hour: Dict[int, int] = {}
+
+    def _nearest_neighbors(self) -> List[List[Tuple[int, float]]]:
+        """For each proxy: its k nearest peer proxies as (index, hops)."""
+        graph = self.topology.graph
+        proxy_nodes = self.topology.proxy_nodes
+        node_to_index = {node: index for index, node in enumerate(proxy_nodes)}
+        neighbors: List[List[Tuple[int, float]]] = []
+        for node in proxy_nodes:
+            distances = graph.shortest_paths_from(node)
+            peers = sorted(
+                (
+                    (node_to_index[other], hops)
+                    for other, hops in distances.items()
+                    if other in node_to_index and other != node
+                ),
+                key=lambda pair: (pair[1], pair[0]),
+            )
+            neighbors.append(peers[: self.neighbor_count])
+        return neighbors
+
+    def _peer_with_version(
+        self, server_id: int, page_id: int, version: int
+    ) -> Optional[Tuple[int, float]]:
+        """Nearest peer holding the current version, or None.
+
+        A peer is only worth asking when it is strictly closer than the
+        origin publisher — otherwise fetching from the origin is at
+        least as fast and keeps the protocol simpler.
+        """
+        origin_cost = self.proxies[server_id].policy.cost
+        for peer_index, hops in self._neighbors[server_id]:
+            if max(1.0, hops) >= origin_cost:
+                break  # neighbors are distance-sorted: no closer peer exists
+            policy = self.proxies[peer_index].policy
+            if policy.contains(page_id) and policy.cached_version(page_id) == version:
+                return peer_index, hops
+        return None
+
+    def _handle_request(self, server_id: int, page_id: int, now: float) -> None:
+        version = self.publisher.current_version(page_id)
+        if version is None:
+            raise RuntimeError(
+                f"request for page {page_id} before its first publication"
+            )
+        size = self.publisher.page_size(page_id)
+        match_count = self.match_table.count_for(page_id, server_id)
+        proxy = self.proxies[server_id]
+        outcome = proxy.handle_request(page_id, version, size, match_count, now)
+        latency = self.config.hit_latency
+        if not outcome.hit:
+            peer = self._peer_with_version(server_id, page_id, version)
+            if peer is not None:
+                _peer_index, hops = peer
+                self.peer_fetch_pages += 1
+                self.peer_fetch_bytes += size
+                hour = int(now // 3600.0)
+                self.peer_fetch_pages_by_hour[hour] = (
+                    self.peer_fetch_pages_by_hour.get(hour, 0) + 1
+                )
+                latency += self.config.per_hop_latency * max(1.0, hops)
+            else:
+                self.publisher.record_fetch(page_id, now)
+                latency += self.config.per_hop_latency * proxy.policy.cost
+        self._total_response_time += latency
+        self._maybe_check_invariants()
+
+    def _collect(self, wall_seconds: float) -> SimulationResult:
+        result = super()._collect(wall_seconds)
+        result.peer_fetch_pages = self.peer_fetch_pages
+        result.peer_fetch_bytes = self.peer_fetch_bytes
+        return result
+
+
+def run_cooperative_simulation(
+    workload: Workload,
+    config: SimulationConfig,
+    neighbor_count: int = 3,
+    match_table: Optional[TraceMatchCounts] = None,
+    topology: Optional[Topology] = None,
+) -> SimulationResult:
+    """Convenience wrapper mirroring :func:`run_simulation`."""
+    return CooperativeSimulation(
+        workload,
+        config,
+        match_table=match_table,
+        topology=topology,
+        neighbor_count=neighbor_count,
+    ).run()

@@ -1,0 +1,122 @@
+"""Simulation results: the paper's metrics (§5.1).
+
+* **Global hit ratio H** (eq. 8): total hits over total requests across
+  all proxies.
+* **Hourly hit ratio** (Fig. 6): H restricted to each hour's requests.
+* **Traffic** (Fig. 7): pages (and bytes) transferred from the
+  publisher to proxies per hour, split into push transfers and
+  demand fetches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cache.stats import CacheStats
+
+
+@dataclass
+class HourlySeries:
+    """A per-hour series stored sparsely and rendered densely."""
+
+    values_by_hour: Dict[int, float] = field(default_factory=dict)
+
+    def add(self, hour: int, amount: float) -> None:
+        self.values_by_hour[hour] = self.values_by_hour.get(hour, 0.0) + amount
+
+    def dense(self, hour_count: int) -> List[float]:
+        """Values for hours 0..hour_count-1, zero-filled."""
+        return [self.values_by_hour.get(hour, 0.0) for hour in range(hour_count)]
+
+
+@dataclass
+class SimulationResult:
+    """Everything one run produces."""
+
+    strategy: str
+    trace_label: str
+    capacity_fraction: float
+    subscription_quality: float
+    pushing_scheme: str
+    requests: int
+    hits: int
+    stale_hits: int
+    push_transfers: int
+    push_bytes: int
+    fetch_pages: int
+    fetch_bytes: int
+    hour_count: int
+    hourly_requests: List[int]
+    hourly_hits: List[int]
+    hourly_push_pages: List[int]
+    hourly_fetch_pages: List[int]
+    hourly_push_bytes: List[int]
+    hourly_fetch_bytes: List[int]
+    per_proxy: List[CacheStats] = field(default_factory=list, repr=False)
+    wall_seconds: float = 0.0
+    #: Sum of modelled per-request response times (seconds).
+    total_response_time: float = 0.0
+    #: Misses served by a peer proxy (cooperative extension only).
+    peer_fetch_pages: int = 0
+    peer_fetch_bytes: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Global H (eq. 8), in [0, 1]."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+    @property
+    def mean_response_time(self) -> float:
+        """Modelled mean user-perceived response time (seconds).
+
+        Hits cost ``hit_latency``; misses add ``per_hop_latency`` per
+        network hop to the publisher — the translation of hit ratio
+        into user-perceived latency that motivates the paper.
+        """
+        if self.requests == 0:
+            return 0.0
+        return self.total_response_time / self.requests
+
+    @property
+    def traffic_pages(self) -> int:
+        """Total publisher->proxy page transfers (push + fetch)."""
+        return self.push_transfers + self.fetch_pages
+
+    @property
+    def traffic_bytes(self) -> int:
+        """Total publisher->proxy bytes (push + fetch)."""
+        return self.push_bytes + self.fetch_bytes
+
+    def hourly_hit_ratio(self) -> List[float]:
+        """H per hour (Fig. 6); hours without requests yield 0.0."""
+        ratios = []
+        for requested, hit in zip(self.hourly_requests, self.hourly_hits):
+            ratios.append(hit / requested if requested else 0.0)
+        return ratios
+
+    def hourly_traffic_pages(self) -> List[int]:
+        """Pages moved publisher->proxies per hour (Fig. 7)."""
+        return [
+            push + fetch
+            for push, fetch in zip(self.hourly_push_pages, self.hourly_fetch_pages)
+        ]
+
+    def hourly_traffic_bytes(self) -> List[int]:
+        return [
+            push + fetch
+            for push, fetch in zip(self.hourly_push_bytes, self.hourly_fetch_bytes)
+        ]
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.strategy:>7s} | {self.trace_label:<11s} "
+            f"cap={self.capacity_fraction:.0%} SQ={self.subscription_quality:.2f} "
+            f"{self.pushing_scheme:<14s} | H={self.hit_ratio:6.2%} "
+            f"rt={1000 * self.mean_response_time:6.1f}ms "
+            f"traffic={self.traffic_pages} pages "
+            f"({self.push_transfers} pushed, {self.fetch_pages} fetched)"
+        )

@@ -1,0 +1,42 @@
+"""Proxy servers.
+
+A proxy aggregates its local users' subscriptions, runs the placing and
+caching modules (one :class:`~repro.core.policy.Policy` instance) over
+its limited storage, and serves its users' requests — Fig. 2's
+"A server" box.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import Policy, PushOutcome, RequestOutcome
+
+
+class ProxyServer:
+    """One content-distribution proxy close to a group of subscribers."""
+
+    def __init__(self, server_id: int, policy: Policy) -> None:
+        self.server_id = int(server_id)
+        self.policy = policy
+
+    @property
+    def stats(self):
+        """The underlying policy's counters."""
+        return self.policy.stats
+
+    def handle_publish(
+        self, page_id: int, version: int, size: int, match_count: int, now: float
+    ) -> PushOutcome:
+        """A published page matched ``match_count`` local subscriptions."""
+        return self.policy.on_publish(page_id, version, size, match_count, now)
+
+    def handle_request(
+        self, page_id: int, version: int, size: int, match_count: int, now: float
+    ) -> RequestOutcome:
+        """A local user requests the current ``version`` of a page."""
+        return self.policy.on_request(page_id, version, size, match_count, now)
+
+    def check_invariants(self) -> None:
+        self.policy.check_invariants()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ProxyServer(id={self.server_id}, policy={self.policy.name})"

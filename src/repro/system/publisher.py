@@ -1,0 +1,78 @@
+"""The publisher / origin server.
+
+Holds the authoritative copy of every page: its size and its *current*
+version number.  Proxies fetch from here on misses; the content
+distribution engine pushes from here at publish time.  The publisher
+also tallies its outbound traffic, split into push transfers and
+demand fetches, per hour — the data behind Fig. 7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.workload.trace import Workload
+
+
+class Publisher:
+    """Origin server state and outbound traffic accounting."""
+
+    def __init__(self, workload: Workload) -> None:
+        self._sizes: Dict[int, int] = {
+            page.page_id: page.size for page in workload.pages
+        }
+        self._versions: Dict[int, int] = {}
+        # Outbound traffic, bucketed by hour.
+        self.push_pages_by_hour: Dict[int, int] = {}
+        self.push_bytes_by_hour: Dict[int, int] = {}
+        self.fetch_pages_by_hour: Dict[int, int] = {}
+        self.fetch_bytes_by_hour: Dict[int, int] = {}
+
+    def page_size(self, page_id: int) -> int:
+        return self._sizes[page_id]
+
+    def publish(self, page_id: int, version: int) -> None:
+        """Record that ``version`` of ``page_id`` is now current."""
+        previous = self._versions.get(page_id, -1)
+        if version != previous + 1:
+            raise ValueError(
+                f"out-of-order publish for page {page_id}: "
+                f"got version {version} after {previous}"
+            )
+        self._versions[page_id] = version
+
+    def current_version(self, page_id: int) -> Optional[int]:
+        """Latest version of ``page_id``, or None if never published."""
+        return self._versions.get(page_id)
+
+    # -- traffic accounting ------------------------------------------------
+
+    def record_push_transfer(self, page_id: int, at: float) -> None:
+        """One page pushed (content actually transferred) at time ``at``."""
+        hour = int(at // 3600.0)
+        size = self._sizes[page_id]
+        self.push_pages_by_hour[hour] = self.push_pages_by_hour.get(hour, 0) + 1
+        self.push_bytes_by_hour[hour] = self.push_bytes_by_hour.get(hour, 0) + size
+
+    def record_fetch(self, page_id: int, at: float) -> None:
+        """One demand fetch served (cache miss at some proxy)."""
+        hour = int(at // 3600.0)
+        size = self._sizes[page_id]
+        self.fetch_pages_by_hour[hour] = self.fetch_pages_by_hour.get(hour, 0) + 1
+        self.fetch_bytes_by_hour[hour] = self.fetch_bytes_by_hour.get(hour, 0) + size
+
+    @property
+    def total_push_pages(self) -> int:
+        return sum(self.push_pages_by_hour.values())
+
+    @property
+    def total_fetch_pages(self) -> int:
+        return sum(self.fetch_pages_by_hour.values())
+
+    @property
+    def total_push_bytes(self) -> int:
+        return sum(self.push_bytes_by_hour.values())
+
+    @property
+    def total_fetch_bytes(self) -> int:
+        return sum(self.fetch_bytes_by_hour.values())

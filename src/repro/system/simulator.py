@@ -1,0 +1,213 @@
+"""The top-level simulation: workload replay over the DES engine.
+
+:class:`Simulation` wires together the workload trace, the subscription
+table (eq. 7), the topology-derived fetch costs, one policy instance
+per proxy and the publisher, then replays the publish and request
+streams in time order through :class:`repro.sim.Environment`.  Publish
+events are scheduled at URGENT priority so a page exists before any
+same-instant request for it.
+
+Traffic accounting (§5.6) happens here, not in the policies:
+
+* under **Always-Pushing** every matched publication transfers the page
+  to the proxy, stored or not;
+* under **Pushing-When-Necessary** only accepted placements transfer
+  content (the meta-information handshake is control traffic, ignored
+  in the page/byte counts as in the paper);
+* every cache miss transfers the page from the publisher once.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.core.registry import make_policy_lenient
+from repro.network.topology import Topology, build_topology
+from repro.pubsub.matching import TraceMatchCounts
+from repro.sim.engine import Environment, NORMAL, URGENT
+from repro.sim.rng import RandomStreams
+from repro.system.config import PushingScheme, SimulationConfig
+from repro.system.metrics import SimulationResult
+from repro.system.proxy import ProxyServer
+from repro.system.publisher import Publisher
+from repro.workload.subscriptions import build_match_counts
+from repro.workload.trace import Workload
+
+
+class Simulation:
+    """One strategy, one trace, one configuration."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: SimulationConfig,
+        match_table: Optional[TraceMatchCounts] = None,
+        topology: Optional[Topology] = None,
+    ) -> None:
+        self.workload = workload
+        self.config = config
+        streams = RandomStreams(config.seed)
+
+        if match_table is None:
+            table = build_match_counts(
+                workload.request_pairs(),
+                config.subscription_quality,
+                streams.stream("subscriptions"),
+                notified_fraction=config.notified_fraction,
+            )
+            match_table = TraceMatchCounts(table)
+        self.match_table = match_table
+
+        if topology is None:
+            topology = build_topology(
+                workload.config.server_count,
+                streams.stream("topology"),
+                model=config.topology_model,
+                extra_nodes=config.topology_extra_nodes,
+            )
+        self.topology = topology
+
+        costs = topology.fetch_costs()
+        capacities = workload.capacities(config.capacity_fraction)
+        self.publisher = Publisher(workload)
+        self.proxies: List[ProxyServer] = []
+        for server_id in range(workload.config.server_count):
+            policy = make_policy_lenient(
+                config.strategy,
+                capacity_bytes=capacities[server_id],
+                cost=costs[server_id % len(costs)],
+                **config.strategy_options,
+            )
+            self.proxies.append(ProxyServer(server_id, policy))
+
+        # page_id -> sorted list of (server_id, match_count), fixed per run.
+        self._matches_by_page: Dict[int, List] = {}
+        for page in workload.pages:
+            counts = self.match_table.match_counts_by_id(page.page_id)
+            if counts:
+                self._matches_by_page[page.page_id] = sorted(counts.items())
+
+        self._events_processed = 0
+        self._total_response_time = 0.0
+
+    # -- event handlers ---------------------------------------------------
+
+    def _handle_publish(self, page_id: int, version: int, now: float) -> None:
+        self.publisher.publish(page_id, version)
+        size = self.publisher.page_size(page_id)
+        for server_id, match_count in self._matches_by_page.get(page_id, ()):
+            proxy = self.proxies[server_id]
+            outcome = proxy.handle_publish(page_id, version, size, match_count, now)
+            transferred = outcome.stored or (
+                self.config.pushing is PushingScheme.ALWAYS
+                and proxy.policy.uses_push
+            )
+            if transferred:
+                self.publisher.record_push_transfer(page_id, now)
+        self._maybe_check_invariants()
+
+    def _handle_request(self, server_id: int, page_id: int, now: float) -> None:
+        version = self.publisher.current_version(page_id)
+        if version is None:
+            raise RuntimeError(
+                f"request for page {page_id} before its first publication "
+                f"(t={now}); the workload generator guarantees ordering"
+            )
+        size = self.publisher.page_size(page_id)
+        match_count = self.match_table.count_for(page_id, server_id)
+        proxy = self.proxies[server_id]
+        outcome = proxy.handle_request(page_id, version, size, match_count, now)
+        latency = self.config.hit_latency
+        if not outcome.hit:
+            self.publisher.record_fetch(page_id, now)
+            latency += self.config.per_hop_latency * proxy.policy.cost
+        self._total_response_time += latency
+        self._maybe_check_invariants()
+
+    def _maybe_check_invariants(self) -> None:
+        interval = self.config.invariant_check_interval
+        self._events_processed += 1
+        if interval and self._events_processed % interval == 0:
+            for proxy in self.proxies:
+                proxy.check_invariants()
+
+    # -- main entry ----------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Replay the whole trace and collect the metrics."""
+        started = time.perf_counter()
+        env = Environment()
+        for event in self.workload.publishes:
+            env.schedule(
+                event.time,
+                lambda _env, p=event.page_id, v=event.version: self._handle_publish(
+                    p, v, _env.now
+                ),
+                priority=URGENT,
+            )
+        for record in self.workload.requests:
+            env.schedule(
+                record.time,
+                lambda _env, s=record.server_id, p=record.page_id: (
+                    self._handle_request(s, p, _env.now)
+                ),
+                priority=NORMAL,
+            )
+        env.run()
+        return self._collect(time.perf_counter() - started)
+
+    def _collect(self, wall_seconds: float) -> SimulationResult:
+        hour_count = int(self.workload.config.horizon // 3600.0) + 1
+        hourly_requests = [0] * hour_count
+        hourly_hits = [0] * hour_count
+        for proxy in self.proxies:
+            stats = proxy.stats
+            for hour, count in stats.bucketed_requests.items():
+                if hour < hour_count:
+                    hourly_requests[hour] += count
+            for hour, count in stats.bucketed_hits.items():
+                if hour < hour_count:
+                    hourly_hits[hour] += count
+
+        def dense(sparse: Dict[int, int]) -> List[int]:
+            return [int(sparse.get(hour, 0)) for hour in range(hour_count)]
+
+        total_requests = sum(proxy.stats.requests for proxy in self.proxies)
+        total_hits = sum(proxy.stats.hits for proxy in self.proxies)
+        total_stale = sum(proxy.stats.stale_hits for proxy in self.proxies)
+
+        return SimulationResult(
+            strategy=self.config.strategy,
+            trace_label=self.workload.label or "custom",
+            capacity_fraction=self.config.capacity_fraction,
+            subscription_quality=self.config.subscription_quality,
+            pushing_scheme=self.config.pushing.value,
+            requests=total_requests,
+            hits=total_hits,
+            stale_hits=total_stale,
+            push_transfers=self.publisher.total_push_pages,
+            push_bytes=self.publisher.total_push_bytes,
+            fetch_pages=self.publisher.total_fetch_pages,
+            fetch_bytes=self.publisher.total_fetch_bytes,
+            hour_count=hour_count,
+            hourly_requests=hourly_requests,
+            hourly_hits=hourly_hits,
+            hourly_push_pages=dense(self.publisher.push_pages_by_hour),
+            hourly_fetch_pages=dense(self.publisher.fetch_pages_by_hour),
+            hourly_push_bytes=dense(self.publisher.push_bytes_by_hour),
+            hourly_fetch_bytes=dense(self.publisher.fetch_bytes_by_hour),
+            per_proxy=[proxy.stats for proxy in self.proxies],
+            wall_seconds=wall_seconds,
+            total_response_time=self._total_response_time,
+        )
+
+
+def run_simulation(
+    workload: Workload,
+    config: SimulationConfig,
+    match_table: Optional[TraceMatchCounts] = None,
+    topology: Optional[Topology] = None,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulation` and run it."""
+    return Simulation(workload, config, match_table, topology).run()

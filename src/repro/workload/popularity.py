@@ -1,0 +1,108 @@
+"""Popularity model (§4.2): Zipf ranks, request counts, classes.
+
+Popularity follows Zipf's law, ``rate(rank) ∝ 1/rank^α``, with ranks
+assigned to pages uniformly at random — the paper assumes popularity is
+independent of publishing time and page size.  Pages are then grouped
+into four classes whose *aggregate* request rates decay roughly one
+order of magnitude from one class to the next; the class index selects
+how strongly a page's access probability decays with its age.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def zipf_weights(page_count: int, alpha: float) -> np.ndarray:
+    """Normalized Zipf weights for ranks 1..page_count."""
+    if page_count < 1:
+        raise ValueError(f"page_count must be >= 1, got {page_count}")
+    ranks = np.arange(1, page_count + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    return weights / weights.sum()
+
+
+def assign_ranks(page_count: int, rng: np.random.Generator) -> np.ndarray:
+    """ranks[i] = Zipf rank (1-based) of page i, a random permutation."""
+    return rng.permutation(page_count) + 1
+
+
+def request_counts(
+    total_requests: int, weights_by_rank: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Integer request counts per rank summing to ``total_requests``.
+
+    Drawn multinomially so small scales stay realistic (deterministic
+    rounding would starve the tail entirely).
+    """
+    if total_requests < 0:
+        raise ValueError("total_requests must be >= 0")
+    return rng.multinomial(total_requests, weights_by_rank)
+
+
+def class_boundaries(
+    weights_by_rank: np.ndarray, class_count: int, rate_decay: float
+) -> np.ndarray:
+    """First rank index (0-based) of each class, length ``class_count``.
+
+    Class k is sized so its aggregate weight is ~``rate_decay`` times
+    smaller than class k-1's: with r = 1/rate_decay the targets are
+    ``W·r^k·(1−r)/(1−r^class_count)``.  Boundaries are the points where
+    the cumulative weight crosses the running target.  Every class is
+    kept non-empty.
+    """
+    if class_count < 1:
+        raise ValueError("class_count must be >= 1")
+    if rate_decay <= 1.0:
+        raise ValueError(f"rate_decay must exceed 1, got {rate_decay}")
+    page_count = len(weights_by_rank)
+    if class_count > page_count:
+        raise ValueError(
+            f"more classes ({class_count}) than pages ({page_count})"
+        )
+    ratio = 1.0 / rate_decay
+    shares = ratio ** np.arange(class_count)
+    shares /= shares.sum()
+    cumulative_targets = np.cumsum(shares)[:-1] * weights_by_rank.sum()
+    cumulative = np.cumsum(weights_by_rank)
+    cuts = np.searchsorted(cumulative, cumulative_targets, side="left") + 1
+    boundaries = [0]
+    for cut in cuts:
+        boundaries.append(max(boundaries[-1] + 1, min(int(cut), page_count - (class_count - len(boundaries)))))
+    return np.asarray(boundaries, dtype=np.int64)
+
+
+def class_of_ranks(
+    page_count: int, boundaries: np.ndarray
+) -> np.ndarray:
+    """class_index_by_rank[r-1] = popularity class of rank r."""
+    classes = np.zeros(page_count, dtype=np.int64)
+    for class_index, start in enumerate(boundaries):
+        classes[start:] = class_index
+    return classes
+
+
+def popularity_model(
+    page_count: int,
+    alpha: float,
+    total_requests: int,
+    class_count: int,
+    rate_decay: float,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Full popularity assignment.
+
+    Returns:
+        (ranks, counts, classes): per-page Zipf rank (1-based), per-page
+        request count, and per-page class index (0 = most popular).
+    """
+    ranks = assign_ranks(page_count, rng)
+    weights = zipf_weights(page_count, alpha)
+    counts_by_rank = request_counts(total_requests, weights, rng)
+    boundaries = class_boundaries(weights, class_count, rate_decay)
+    classes_by_rank = class_of_ranks(page_count, boundaries)
+    counts = counts_by_rank[ranks - 1]
+    classes = classes_by_rank[ranks - 1]
+    return ranks, counts, classes

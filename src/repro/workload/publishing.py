@@ -1,0 +1,144 @@
+"""Publishing stream generation (§4.1).
+
+Of the 6 000 distinct pages, 2 400 receive modified versions.  Each
+updated page has a *fixed* modification interval drawn from a step-wise
+distribution matching the MSNBC observations: 5 % of intervals are
+under one hour, 5 % exceed one day, and the remaining 90 % lie between
+one hour and one day.  First publication times are uniform over the
+horizon; version k of a page appears at ``first + k·interval`` while
+that stays inside the horizon.  With the paper's parameters this
+yields ~30 000 publish events over 7 days (the paper reports 30 147).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.workload.config import WorkloadConfig, DAY, HOUR
+
+
+def _page_fractions(config: WorkloadConfig) -> np.ndarray:
+    """Per-page step probabilities from the event-weighted targets.
+
+    The MSNBC statistic "5 % of modification intervals are < 1 hour,
+    5 % are > 1 day" counts *modification events*: a page with a short
+    fixed interval contributes many intervals to that statistic.  A
+    page with interval I produces events at rate 1/I, so to make the
+    event-weighted mix hit (5 %, 90 %, 5 %) the per-page step
+    probabilities must be the targets divided by each step's harmonic
+    mean rate, renormalized.  This derivation also lands the total
+    publish count at ~30 000 over 7 days, matching the paper's 30 147.
+    """
+    steps = [
+        (config.short_interval_fraction, config.min_interval, HOUR),
+        (
+            1.0 - config.short_interval_fraction - config.long_interval_fraction,
+            HOUR,
+            DAY,
+        ),
+        (config.long_interval_fraction, DAY, config.max_interval),
+    ]
+    weights = []
+    for event_share, low, high in steps:
+        # E[1/X] for X ~ U(low, high): ln(high/low) / (high - low).
+        mean_rate = np.log(high / low) / (high - low)
+        weights.append(event_share / mean_rate)
+    fractions = np.asarray(weights)
+    return fractions / fractions.sum()
+
+
+def modification_intervals(
+    count: int, config: WorkloadConfig, rng: np.random.Generator
+) -> np.ndarray:
+    """Fixed per-page modification intervals (seconds), step-wise mix."""
+    if count == 0:
+        return np.zeros(0)
+    fractions = _page_fractions(config)
+    step = rng.choice(3, size=count, p=fractions)
+    intervals = np.empty(count)
+    short = step == 0
+    middle = step == 1
+    long = step == 2
+    intervals[short] = rng.uniform(config.min_interval, HOUR, size=int(short.sum()))
+    intervals[middle] = rng.uniform(HOUR, DAY, size=int(middle.sum()))
+    intervals[long] = rng.uniform(DAY, config.max_interval, size=int(long.sum()))
+    return intervals
+
+
+def first_publish_times(
+    config: WorkloadConfig, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform first-publication time for every distinct page."""
+    return rng.uniform(0.0, config.horizon, size=config.distinct_pages)
+
+
+def choose_modified_pages(
+    config: WorkloadConfig,
+    rng: np.random.Generator,
+    popularity_counts: np.ndarray = None,
+) -> np.ndarray:
+    """Pick which distinct pages receive modifications.
+
+    With ``modified_popularity_bias > 0`` and popularity counts
+    available, page i is sampled without replacement with weight
+    ``(count_i + 1)^bias`` — popular news pages are the frequently
+    updated ones (Padmanabhan & Qiu; also the regime in which the paper
+    argues content distribution matters most).  Weighted sampling
+    without replacement uses the Efraimidis–Spirakis exponential-key
+    trick.
+    """
+    page_count = config.distinct_pages
+    take = config.modified_pages
+    if take == 0:
+        return np.zeros(0, dtype=np.int64)
+    bias = config.modified_popularity_bias
+    if popularity_counts is None or bias == 0.0:
+        return rng.choice(page_count, size=take, replace=False)
+    weights = (np.asarray(popularity_counts, dtype=np.float64) + 1.0) ** bias
+    keys = rng.exponential(size=page_count) / weights
+    return np.argsort(keys)[:take]
+
+
+def generate_publishing_stream(
+    config: WorkloadConfig,
+    rng: np.random.Generator,
+    popularity_counts: np.ndarray = None,
+) -> Tuple[np.ndarray, np.ndarray, List[List[float]]]:
+    """Build the full publishing schedule.
+
+    Returns:
+        (first_times, intervals, version_times) where ``intervals[i]``
+        is 0.0 for never-modified pages and ``version_times[i]`` lists
+        every publication time of page i (the first entry is the
+        original publication).
+    """
+    first_times = first_publish_times(config, rng)
+    modified_ids = choose_modified_pages(config, rng, popularity_counts)
+    drawn = modification_intervals(config.modified_pages, config, rng)
+    if (
+        config.couple_intervals_to_popularity
+        and popularity_counts is not None
+        and len(modified_ids)
+    ):
+        # Shortest intervals go to the most popular modified pages.
+        by_popularity = modified_ids[
+            np.argsort(-np.asarray(popularity_counts)[modified_ids], kind="stable")
+        ]
+        modified_ids = by_popularity
+        drawn = np.sort(drawn)
+    intervals = np.zeros(config.distinct_pages)
+    intervals[modified_ids] = drawn
+
+    version_times: List[List[float]] = []
+    for page_id in range(config.distinct_pages):
+        times = [float(first_times[page_id])]
+        interval = float(intervals[page_id])
+        if interval > 0.0:
+            when = times[0] + interval
+            while when <= config.horizon:
+                times.append(when)
+                when += interval
+        version_times.append(times)
+    return first_times, intervals, version_times

@@ -1,0 +1,92 @@
+"""Splitting requests across proxy servers (§4.2, eq. 6).
+
+Frequently referenced pages are accessed by more organizations, so the
+maximum number of servers requesting page i in one day is
+
+    S_i = ceil(server_count · (P_i / P_max)^0.5)            (eq. 6)
+
+where P_i is the page's popularity (its request count here).  For the
+first day a page is requested, S_i servers are drawn uniformly as its
+candidate pool; on each following day 40 % of the pool is replaced by
+servers currently outside it (60 % overlap).  Every request on a day is
+assigned uniformly to that day's pool.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.workload.config import DAY
+
+
+def pool_size(
+    popularity: float, max_popularity: float, server_count: int, exponent: float = 0.5
+) -> int:
+    """Eq. 6: per-day candidate pool size for a page (at least 1)."""
+    if max_popularity <= 0:
+        return 1
+    size = server_count * (popularity / max_popularity) ** exponent
+    return max(1, min(server_count, int(np.ceil(size))))
+
+
+def daily_pools(
+    pool: np.ndarray,
+    day_count: int,
+    server_count: int,
+    overlap: float,
+    rng: np.random.Generator,
+) -> List[np.ndarray]:
+    """Evolve a page's candidate pool over ``day_count`` days.
+
+    Day d+1 keeps ``round(overlap·|pool|)`` members of day d's pool and
+    refills with servers outside it.  When the pool already covers all
+    servers there is nothing to swap in, so the pool persists.
+    """
+    pools = [pool]
+    size = len(pool)
+    for _ in range(1, day_count):
+        current = pools[-1]
+        keep_count = int(round(overlap * size))
+        keep_count = min(keep_count, size)
+        outside = np.setdiff1d(np.arange(server_count), current, assume_unique=False)
+        swap_count = min(size - keep_count, len(outside))
+        kept = rng.choice(current, size=size - swap_count, replace=False)
+        if swap_count:
+            fresh = rng.choice(outside, size=swap_count, replace=False)
+            pools.append(np.concatenate([kept, fresh]))
+        else:
+            pools.append(current)
+    return pools
+
+
+def assign_servers(
+    request_times: np.ndarray,
+    first_publish: float,
+    popularity: float,
+    max_popularity: float,
+    server_count: int,
+    overlap: float,
+    rng: np.random.Generator,
+    exponent: float = 0.5,
+) -> np.ndarray:
+    """Server id for every request of one page.
+
+    Days are counted from the page's first publication (a page's "first
+    day requested" in the paper), so the pool rotation tracks the
+    page's own lifetime rather than the global clock.
+    """
+    if len(request_times) == 0:
+        return np.zeros(0, dtype=np.int64)
+    size = pool_size(popularity, max_popularity, server_count, exponent)
+    day_index = ((request_times - first_publish) // DAY).astype(np.int64)
+    day_index = np.maximum(day_index, 0)
+    day_count = int(day_index.max()) + 1
+    first_pool = rng.choice(server_count, size=size, replace=False)
+    pools = daily_pools(first_pool, day_count, server_count, overlap, rng)
+    assignments = np.empty(len(request_times), dtype=np.int64)
+    for position, day in enumerate(day_index):
+        pool = pools[day]
+        assignments[position] = pool[int(rng.integers(len(pool)))]
+    return assignments

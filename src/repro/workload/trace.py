@@ -1,0 +1,255 @@
+"""Workload assembly: the full §4 pipeline and its output format.
+
+:func:`generate_workload` runs sizes → popularity → publishing →
+request times → server split and returns a :class:`Workload` holding
+three time-ordered streams (publish events, requests) plus per-page
+metadata.  Subscription tables are built separately per SQ value with
+:func:`repro.workload.subscriptions.build_match_counts` so one trace
+can be reused across the Fig. 5 quality sweep.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, asdict
+from typing import Dict, List, Tuple
+
+from repro.sim.rng import RandomStreams
+from repro.workload.config import WorkloadConfig
+from repro.workload.popularity import popularity_model
+from repro.workload.publishing import generate_publishing_stream
+from repro.workload.requests import (
+    request_times_for_page,
+    request_times_for_versions,
+)
+from repro.workload.servers import assign_servers
+from repro.workload.sizes import generate_sizes
+
+
+@dataclass(frozen=True)
+class PageSpec:
+    """Static description of one distinct page."""
+
+    page_id: int
+    size: int
+    rank: int
+    popularity_class: int
+    request_count: int
+    first_publish: float
+    modification_interval: float  # 0.0 when never modified
+    version_count: int
+
+
+@dataclass(frozen=True)
+class PublishRecord:
+    """One publish event: version ``version`` of ``page_id`` at ``time``."""
+
+    time: float
+    page_id: int
+    version: int
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One end-user request arriving at proxy ``server_id``."""
+
+    time: float
+    server_id: int
+    page_id: int
+
+
+@dataclass
+class Workload:
+    """A complete generated trace."""
+
+    config: WorkloadConfig
+    pages: List[PageSpec]
+    publishes: List[PublishRecord]
+    requests: List[RequestRecord]
+    #: name of the preset that produced this trace ("news", ...), if any.
+    label: str = ""
+    _request_pairs: List[Tuple[int, int]] = field(default_factory=list, repr=False)
+
+    @property
+    def publish_count(self) -> int:
+        return len(self.publishes)
+
+    @property
+    def request_count(self) -> int:
+        return len(self.requests)
+
+    def request_pairs(self) -> List[Tuple[int, int]]:
+        """(page_id, server_id) per request — input to eq. 7."""
+        if not self._request_pairs:
+            self._request_pairs = [
+                (record.page_id, record.server_id) for record in self.requests
+            ]
+        return self._request_pairs
+
+    def version_at(self, page_id: int, when: float) -> int:
+        """Version of ``page_id`` current at time ``when``.
+
+        Versions appear at ``first_publish + k·interval``, so the index
+        is a closed-form floor; requests never precede the first
+        publication by construction.
+        """
+        page = self.pages[page_id]
+        if page.modification_interval <= 0.0:
+            return 0
+        elapsed = max(0.0, when - page.first_publish)
+        return min(
+            page.version_count - 1, int(elapsed // page.modification_interval)
+        )
+
+    def unique_bytes_per_server(self) -> Dict[int, int]:
+        """Unique bytes requested at each server over the whole trace.
+
+        The paper sets each proxy's capacity to a percentage of this
+        quantity (§5.1): distinct *pages* requested at the server,
+        weighted by size.  At the paper's parameters this makes caches
+        small (a handful of average pages at the 5 % setting), which is
+        consistent with the absolute hit-ratio levels it reports.
+        """
+        sizes = {page.page_id: page.size for page in self.pages}
+        seen: Dict[int, set] = {}
+        for record in self.requests:
+            seen.setdefault(record.server_id, set()).add(record.page_id)
+        return {
+            server: sum(sizes[page_id] for page_id in pages)
+            for server, pages in seen.items()
+        }
+
+    def capacities(self, fraction: float) -> Dict[int, int]:
+        """Per-server cache capacity at the given fraction (e.g. 0.05).
+
+        Servers that never appear in the request stream get the mean
+        capacity so every proxy still exists in the simulation.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        unique = self.unique_bytes_per_server()
+        mean_bytes = (
+            sum(unique.values()) / len(unique) if unique else 1024.0
+        )
+        capacities = {}
+        for server in range(self.config.server_count):
+            base = unique.get(server, mean_bytes)
+            capacities[server] = max(1, int(base * fraction))
+        return capacities
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the workload (config + streams) to JSON."""
+        payload = {
+            "label": self.label,
+            "config": asdict(self.config),
+            "pages": [asdict(page) for page in self.pages],
+            "publishes": [asdict(event) for event in self.publishes],
+            "requests": [asdict(record) for record in self.requests],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Workload":
+        """Rebuild a workload serialized with :meth:`to_json`."""
+        payload = json.loads(text)
+        config_fields = dict(payload["config"])
+        config_fields["age_exponents"] = tuple(config_fields["age_exponents"])
+        return cls(
+            config=WorkloadConfig(**config_fields),
+            pages=[PageSpec(**page) for page in payload["pages"]],
+            publishes=[PublishRecord(**event) for event in payload["publishes"]],
+            requests=[RequestRecord(**record) for record in payload["requests"]],
+            label=payload.get("label", ""),
+        )
+
+
+def generate_workload(
+    config: WorkloadConfig, streams: RandomStreams, label: str = ""
+) -> Workload:
+    """Run the full §4 generation pipeline."""
+    sizes = generate_sizes(config, streams.stream("workload.sizes"))
+    ranks, counts, classes = popularity_model(
+        config.distinct_pages,
+        config.zipf_alpha,
+        config.total_requests,
+        config.class_count,
+        config.class_rate_decay,
+        streams.stream("workload.popularity"),
+    )
+    first_times, intervals, version_times = generate_publishing_stream(
+        config, streams.stream("workload.publishing"), popularity_counts=counts
+    )
+
+    pages = [
+        PageSpec(
+            page_id=page_id,
+            size=int(sizes[page_id]),
+            rank=int(ranks[page_id]),
+            popularity_class=int(classes[page_id]),
+            request_count=int(counts[page_id]),
+            first_publish=float(first_times[page_id]),
+            modification_interval=float(intervals[page_id]),
+            version_count=len(version_times[page_id]),
+        )
+        for page_id in range(config.distinct_pages)
+    ]
+
+    publishes = [
+        PublishRecord(time=when, page_id=page_id, version=version)
+        for page_id, times in enumerate(version_times)
+        for version, when in enumerate(times)
+    ]
+    publishes.sort(key=lambda event: (event.time, event.page_id))
+
+    request_rng = streams.stream("workload.requests")
+    server_rng = streams.stream("workload.servers")
+    max_count = max(1, int(counts.max())) if len(counts) else 1
+    requests: List[RequestRecord] = []
+    for page_id in range(config.distinct_pages):
+        count = int(counts[page_id])
+        if count == 0:
+            continue
+        gamma = config.age_exponents[int(classes[page_id])]
+        if config.age_from_latest_version:
+            times = request_times_for_versions(
+                count,
+                version_times[page_id],
+                config.horizon,
+                gamma,
+                request_rng,
+                story_decay=config.story_decay,
+                story_decay_mode=config.story_decay_mode,
+                story_decay_exponent=config.story_decay_exponent,
+                story_halflife_hours=config.story_halflife_hours,
+            )
+        else:
+            times = request_times_for_page(
+                count, float(first_times[page_id]), config.horizon, gamma, request_rng
+            )
+        if len(times) == 0:
+            continue
+        servers = assign_servers(
+            times,
+            float(first_times[page_id]),
+            popularity=count,
+            max_popularity=max_count,
+            server_count=config.server_count,
+            overlap=config.pool_overlap,
+            rng=server_rng,
+            exponent=config.pool_exponent,
+        )
+        requests.extend(
+            RequestRecord(time=float(when), server_id=int(server), page_id=page_id)
+            for when, server in zip(times, servers)
+        )
+    requests.sort(key=lambda record: (record.time, record.server_id, record.page_id))
+
+    return Workload(
+        config=config,
+        pages=pages,
+        publishes=publishes,
+        requests=requests,
+        label=label,
+    )

@@ -1,0 +1,152 @@
+"""Tests for the addressable min-heap."""
+
+import pytest
+
+from repro.cache.heap import AddressableHeap
+
+
+def test_empty_heap():
+    heap = AddressableHeap()
+    assert len(heap) == 0
+    assert heap.min_priority() is None
+    with pytest.raises(IndexError):
+        heap.pop()
+    with pytest.raises(IndexError):
+        heap.peek()
+
+
+def test_push_and_pop_in_priority_order():
+    heap = AddressableHeap()
+    heap.push("b", 2.0)
+    heap.push("a", 1.0)
+    heap.push("c", 3.0)
+    assert [heap.pop()[0] for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_pop_returns_priority():
+    heap = AddressableHeap()
+    heap.push("x", 1.5)
+    assert heap.pop() == ("x", 1.5)
+
+
+def test_update_priority_moves_key():
+    heap = AddressableHeap()
+    heap.push("a", 1.0)
+    heap.push("b", 2.0)
+    heap.push("a", 3.0)  # re-push updates
+    assert heap.pop()[0] == "b"
+    assert heap.pop() == ("a", 3.0)
+
+
+def test_contains_and_len():
+    heap = AddressableHeap()
+    heap.push("a", 1.0)
+    heap.push("b", 2.0)
+    assert "a" in heap and "b" in heap and "c" not in heap
+    assert len(heap) == 2
+    heap.push("a", 5.0)
+    assert len(heap) == 2  # update, not insert
+
+
+def test_remove_and_discard():
+    heap = AddressableHeap()
+    heap.push("a", 1.0)
+    heap.remove("a")
+    assert "a" not in heap
+    with pytest.raises(KeyError):
+        heap.remove("a")
+    heap.discard("a")  # no-op, no raise
+
+
+def test_removed_key_never_pops():
+    heap = AddressableHeap()
+    heap.push("a", 1.0)
+    heap.push("b", 2.0)
+    heap.remove("a")
+    assert heap.pop()[0] == "b"
+    assert len(heap) == 0
+
+
+def test_priority_lookup():
+    heap = AddressableHeap()
+    heap.push("a", 4.5)
+    assert heap.priority("a") == 4.5
+    with pytest.raises(KeyError):
+        heap.priority("missing")
+
+
+def test_peek_does_not_remove():
+    heap = AddressableHeap()
+    heap.push("a", 1.0)
+    assert heap.peek() == ("a", 1.0)
+    assert len(heap) == 1
+
+
+def test_ties_pop_in_insertion_order():
+    heap = AddressableHeap()
+    for key in "abc":
+        heap.push(key, 1.0)
+    assert [heap.pop()[0] for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_negative_priorities_sort_first():
+    heap = AddressableHeap()
+    heap.push("pos", 1.0)
+    heap.push("neg", -5.0)
+    heap.push("zero", 0.0)
+    assert [heap.pop()[0] for _ in range(3)] == ["neg", "zero", "pos"]
+
+
+def test_items_and_keys_reflect_live_entries():
+    heap = AddressableHeap()
+    heap.push("a", 1.0)
+    heap.push("b", 2.0)
+    heap.push("a", 3.0)
+    heap.remove("b")
+    assert set(heap.keys()) == {"a"}
+    assert dict(heap.items()) == {"a": 3.0}
+
+
+def test_compact_preserves_order():
+    heap = AddressableHeap()
+    for i in range(50):
+        heap.push(i, float(i))
+    for i in range(50):
+        heap.push(i, float(50 - i))  # invert priorities via updates
+    heap.compact()
+    popped = [heap.pop()[0] for _ in range(50)]
+    assert popped == list(range(49, -1, -1))
+
+
+def test_maybe_compact_bounds_backing_list():
+    heap = AddressableHeap()
+    for round_index in range(100):
+        for key in range(10):
+            heap.push(key, float(round_index * 10 + key))
+        heap.maybe_compact()
+    assert len(heap._heap) < 200  # bounded despite 1000 pushes
+
+
+def test_interleaved_operations_stay_consistent():
+    heap = AddressableHeap()
+    reference = {}
+    import random
+
+    rng = random.Random(42)
+    for step in range(2000):
+        action = rng.random()
+        key = rng.randrange(40)
+        if action < 0.5:
+            priority = rng.uniform(-10, 10)
+            heap.push(key, priority)
+            reference[key] = priority
+        elif action < 0.7 and reference:
+            victim = rng.choice(sorted(reference))
+            heap.discard(victim)
+            reference.pop(victim, None)
+        elif reference:
+            key, priority = heap.pop()
+            expected_min = min(reference.values())
+            assert priority == pytest.approx(expected_min)
+            assert reference.pop(key) == priority
+    assert len(heap) == len(reference)

@@ -1,0 +1,70 @@
+"""Tests for the value functions (equations 1-5)."""
+
+import pytest
+
+from repro.core.values import (
+    gdstar_value,
+    sg1_frequency,
+    sg2_frequency,
+    sr_value,
+    sub_value,
+)
+
+
+def test_gdstar_value_formula():
+    # V = L + (f*c/s)^(1/beta); with beta=2 that's L + sqrt(f*c/s)
+    assert gdstar_value(1.0, 4, 1.0, 1, 2.0) == pytest.approx(1.0 + 2.0)
+    assert gdstar_value(0.0, 9, 4.0, 4, 2.0) == pytest.approx(3.0)
+
+
+def test_gdstar_value_beta_one_is_linear():
+    assert gdstar_value(0.5, 3, 2.0, 6, 1.0) == pytest.approx(0.5 + 1.0)
+
+
+def test_gdstar_value_negative_frequency_clamps_to_inflation():
+    assert gdstar_value(7.0, -5, 1.0, 10, 2.0) == 7.0
+    assert gdstar_value(7.0, 0, 1.0, 10, 2.0) == 7.0
+
+
+def test_gdstar_value_validation():
+    with pytest.raises(ValueError):
+        gdstar_value(0.0, 1, 1.0, 0, 2.0)
+    with pytest.raises(ValueError):
+        gdstar_value(0.0, 1, 1.0, 10, 0.0)
+
+
+def test_gdstar_value_monotone_in_frequency():
+    values = [gdstar_value(1.0, f, 2.0, 100, 2.0) for f in range(0, 10)]
+    assert values == sorted(values)
+
+
+def test_gdstar_value_decreasing_in_size():
+    small = gdstar_value(0.0, 5, 1.0, 10, 2.0)
+    big = gdstar_value(0.0, 5, 1.0, 1000, 2.0)
+    assert small > big
+
+
+def test_sub_value_formula():
+    assert sub_value(10, 2.0, 4) == pytest.approx(5.0)
+    assert sub_value(0, 2.0, 4) == 0.0
+
+
+def test_sub_value_validation():
+    with pytest.raises(ValueError):
+        sub_value(1, 1.0, 0)
+
+
+def test_sr_value_can_be_negative():
+    assert sr_value(3, 5, 1.0, 1) == pytest.approx(-2.0)
+    assert sr_value(5, 3, 2.0, 4) == pytest.approx(1.0)
+
+
+def test_sr_value_validation():
+    with pytest.raises(ValueError):
+        sr_value(1, 0, 1.0, 0)
+
+
+def test_frequency_helpers():
+    assert sg1_frequency(3, 4) == 7
+    assert sg2_frequency(3, 4) == -1
+    assert sg2_frequency(4, 3) == 1

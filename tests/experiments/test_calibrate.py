@@ -1,0 +1,71 @@
+"""Tests for β calibration (§5.1)."""
+
+import pytest
+
+from repro.experiments.calibrate import (
+    DEFAULT_BETAS,
+    calibrate_all,
+    calibrate_beta,
+    trace_prefix,
+)
+from repro.workload.presets import make_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_trace("news", scale=0.03, seed=3)
+
+
+def test_trace_prefix_truncates_both_streams(trace):
+    prefix = trace_prefix(trace, 0.5)
+    cutoff = trace.config.horizon * 0.5
+    assert prefix.config.horizon == cutoff
+    assert all(event.time <= cutoff for event in prefix.publishes)
+    assert all(record.time <= cutoff for record in prefix.requests)
+    assert prefix.request_count < trace.request_count
+    assert prefix.pages == trace.pages  # page metadata shared
+
+
+def test_trace_prefix_full_is_identity(trace):
+    assert trace_prefix(trace, 1.0) is trace
+
+
+def test_trace_prefix_validation(trace):
+    with pytest.raises(ValueError):
+        trace_prefix(trace, 0.0)
+    with pytest.raises(ValueError):
+        trace_prefix(trace, 1.5)
+
+
+def test_calibrate_beta_returns_grid_member(trace):
+    result = calibrate_beta(trace, "gdstar", betas=(0.5, 2.0), prefix_fraction=0.3)
+    assert result.best_beta in (0.5, 2.0)
+    assert set(result.prefix_scores) == {0.5, 2.0}
+    assert all(0.0 <= score <= 1.0 for score in result.prefix_scores.values())
+    assert result.verified_hit_ratio is None
+
+
+def test_calibrate_beta_best_is_argmax(trace):
+    result = calibrate_beta(trace, "sg2", betas=(0.25, 1.0, 4.0), prefix_fraction=0.3)
+    best_score = result.prefix_scores[result.best_beta]
+    assert best_score == max(result.prefix_scores.values())
+
+
+def test_calibrate_with_verification(trace):
+    result = calibrate_beta(
+        trace, "gdstar", betas=(2.0,), prefix_fraction=0.25, verify=True
+    )
+    assert result.verified_hit_ratio is not None
+    assert 0.0 <= result.verified_hit_ratio <= 1.0
+
+
+def test_calibrate_all_covers_strategies(trace):
+    results = calibrate_all(
+        trace, strategies=("gdstar", "sg2"), betas=(0.5, 2.0), prefix_fraction=0.3
+    )
+    assert set(results) == {"gdstar", "sg2"}
+
+
+def test_default_betas_match_paper_range():
+    assert DEFAULT_BETAS[0] == 0.0625
+    assert DEFAULT_BETAS[-1] == 4.0

@@ -1,0 +1,85 @@
+"""Smoke tests: every figure/table function runs at tiny scale and
+produces structurally correct output."""
+
+import pytest
+
+from repro.experiments.figures import (
+    CAPACITIES,
+    MAIN_STRATEGIES,
+    SQS,
+    beta_sweep,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+from repro.experiments.tables import TABLE2_STRATEGIES, table2
+
+SCALE = 0.03
+SEED = 3
+
+
+def test_figure3_shape():
+    result = figure3(scale=SCALE, seed=SEED)
+    assert set(result.data) == {"gdstar", "dm", "dc-fp", "dc-ap", "dc-lap"}
+    for values in result.data.values():
+        assert len(values) == len(CAPACITIES)
+        assert all(0.0 <= v <= 100.0 for v in values)
+    assert "Figure 3" in result.text
+
+
+def test_figure4_both_traces():
+    panels = figure4(scale=SCALE, seed=SEED)
+    assert set(panels) == {"news", "alternative"}
+    for panel in panels.values():
+        assert set(panel.data) == set(MAIN_STRATEGIES)
+        for values in panel.data.values():
+            assert len(values) == len(CAPACITIES)
+
+
+def test_figure5_sq_sweep():
+    panels = figure5(scale=SCALE, seed=SEED)
+    for panel in panels.values():
+        for values in panel.data.values():
+            assert len(values) == len(SQS)
+    # GD* ignores subscriptions: its row must be flat across SQ.
+    news = panels["news"].data["gdstar"]
+    assert max(news) - min(news) < 1e-9
+
+
+def test_figure6_hourly_series():
+    panels = figure6(scale=SCALE, seed=SEED)
+    for panel in panels.values():
+        assert set(panel.data) == {"sg2", "sub", "gdstar"}
+        for series in panel.data.values():
+            assert len(series) == 169  # 7 days + boundary hour
+            assert all(0.0 <= v <= 100.0 for v in series)
+
+
+def test_figure7_two_schemes():
+    panels = figure7(scale=SCALE, seed=SEED)
+    assert set(panels) == {"always", "when-necessary"}
+    always = sum(panels["always"].data["sub"])
+    necessary = sum(panels["when-necessary"].data["sub"])
+    assert always >= necessary  # always-pushing wastes transfers
+    # GD* traffic identical across pushing schemes (no pushes at all).
+    assert panels["always"].data["gdstar"] == pytest.approx(
+        panels["when-necessary"].data["gdstar"]
+    )
+
+
+def test_beta_sweep():
+    result = beta_sweep(scale=SCALE, seed=SEED, betas=(0.5, 2.0))
+    assert set(result.data) == {"gdstar", "sg1", "sg2"}
+    for values in result.data.values():
+        assert len(values) == 2
+
+
+def test_table2_structure():
+    result = table2(scale=SCALE, seed=SEED)
+    assert set(result.improvements) == {1.5, 1.0}
+    for per_alpha in result.improvements.values():
+        assert set(per_alpha) == set(TABLE2_STRATEGIES)
+    assert "Table 2" in result.text
+    assert "paper" in result.text

@@ -1,0 +1,47 @@
+"""Tests for text rendering."""
+
+from repro.experiments.report import render_series, render_table, sparkline
+
+
+def test_render_table_alignment():
+    text = render_table(
+        "Title",
+        ["1%", "5%"],
+        {"gdstar": [21.0, 40.5], "sg2": [30.0, 60.25]},
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    assert "gdstar" in text and "sg2" in text
+    assert "40.5" in text
+    # all data rows equally wide
+    widths = {len(line) for line in lines[1:] if "|" in line or "-" in line}
+    assert len(widths) <= 2
+
+
+def test_render_table_none_values():
+    text = render_table("T", ["a"], {"row": [None]})
+    assert "-" in text
+
+
+def test_sparkline_levels():
+    line = sparkline([0.0, 50.0, 100.0], maximum=100.0)
+    assert len(line) == 3
+    assert line[0] == " " and line[-1] == "█"
+
+
+def test_sparkline_empty_and_zero():
+    assert sparkline([]) == ""
+    assert sparkline([0.0, 0.0]) == "  "
+
+
+def test_render_series_includes_mean():
+    text = render_series("S", {"gd": [10.0, 20.0, 30.0]}, maximum=100.0)
+    assert "mean=" in text
+    assert "20.00" in text
+
+
+def test_render_series_sampling():
+    text = render_series("S", {"x": list(range(100))}, sample_every=10)
+    data_line = text.splitlines()[1]
+    spark = data_line.rsplit("| ", 1)[1]
+    assert len(spark) == 10

@@ -1,0 +1,39 @@
+"""Tests for seed-sensitivity analysis."""
+
+from repro.experiments.sensitivity import (
+    compare_across_seeds,
+    seed_sweep,
+)
+from repro.experiments.spec import CellKey
+
+SCALE = 0.03
+SEEDS = (1, 2, 3)
+
+
+def test_seed_sweep_collects_all_seeds():
+    sweep = seed_sweep(
+        CellKey("news", "gdstar", 0.05), seeds=SEEDS, scale=SCALE
+    )
+    assert len(sweep.hit_ratios) == 3
+    assert all(0.0 <= ratio <= 1.0 for ratio in sweep.hit_ratios)
+    assert sweep.spread >= 0.0
+    assert 0.0 <= sweep.mean <= 1.0
+    assert "gdstar" in sweep.render()
+
+
+def test_different_seeds_give_different_traces():
+    sweep = seed_sweep(
+        CellKey("news", "gdstar", 0.05), seeds=SEEDS, scale=SCALE
+    )
+    assert sweep.spread > 0.0  # distinct workloads per seed
+
+
+def test_comparison_across_seeds():
+    comparison = compare_across_seeds(
+        "sg2", baseline="gdstar", seeds=SEEDS, scale=SCALE
+    )
+    assert 0 <= comparison.wins <= 3
+    # The paper's headline claim should be seed-robust even at tiny scale.
+    assert comparison.wins >= 2
+    assert comparison.mean_relative_gain > 0.0
+    assert "sg2 vs gdstar" in comparison.render()

@@ -1,0 +1,90 @@
+"""Tests for the experiment grid machinery."""
+
+import pytest
+
+from repro.experiments.runner import paper_beta, run_cell, run_grid, trace_for
+from repro.experiments.spec import CellKey, ExperimentGrid, GridResult
+
+SCALE = 0.03
+
+
+def test_grid_cells_cartesian():
+    grid = ExperimentGrid(
+        traces=("news", "alternative"),
+        strategies=("gdstar", "sub"),
+        capacities=(0.01, 0.05),
+        sqs=(0.5, 1.0),
+    )
+    cells = grid.cells()
+    assert len(cells) == grid.cell_count == 16
+    assert len(set(cells)) == 16
+
+
+def test_cell_key_str():
+    key = CellKey("news", "sg2", 0.05)
+    assert "news" in str(key) and "sg2" in str(key)
+
+
+def test_trace_for_memoized():
+    a = trace_for("news", SCALE, 3)
+    b = trace_for("news", SCALE, 3)
+    assert a is b
+
+
+def test_run_cell_produces_result():
+    result = run_cell(CellKey("news", "gdstar", 0.05), scale=SCALE, seed=3)
+    assert result.requests > 0
+    assert result.strategy == "gdstar"
+
+
+def test_run_grid_and_lookup():
+    grid = ExperimentGrid(strategies=("gdstar", "sub"), capacities=(0.05,))
+    outcome = run_grid(grid, scale=SCALE, seed=3)
+    assert isinstance(outcome, GridResult)
+    assert outcome.hit_ratio(strategy="gdstar") >= 0.0
+    sub = outcome.get(strategy="sub")
+    assert sub.strategy == "sub"
+
+
+def test_grid_result_relative_improvement():
+    grid = ExperimentGrid(strategies=("gdstar", "sg2"), capacities=(0.05,))
+    outcome = run_grid(grid, scale=SCALE, seed=3)
+    relative = outcome.relative_improvement(strategy="sg2")
+    expected = outcome.hit_ratio(strategy="sg2") / outcome.hit_ratio(
+        strategy="gdstar"
+    ) - 1.0
+    assert relative == pytest.approx(expected)
+
+
+def test_grid_result_ambiguous_lookup_raises():
+    grid = ExperimentGrid(strategies=("gdstar", "sub"), capacities=(0.01, 0.05))
+    outcome = run_grid(grid, scale=SCALE, seed=3)
+    with pytest.raises(KeyError):
+        outcome.get(strategy="sub")  # capacity ambiguous
+
+
+def test_run_grid_progress_callback():
+    grid = ExperimentGrid(strategies=("gdstar",), capacities=(0.05,))
+    seen = []
+    run_grid(grid, scale=SCALE, seed=3, progress=lambda key, res: seen.append(key))
+    assert len(seen) == 1
+
+
+def test_paper_beta_rules():
+    assert paper_beta("news", "gdstar", 0.05) == 2.0
+    assert paper_beta("news", "sg2", 0.01) == 2.0
+    assert paper_beta("alternative", "sg2", 0.05) == 0.5
+    assert paper_beta("alternative", "gdstar", 0.01) == 1.0
+    assert paper_beta("alternative", "sg1", 0.10) == 2.0
+
+
+def test_run_grid_parallel_matches_serial():
+    grid = ExperimentGrid(strategies=("gdstar", "sub"), capacities=(0.05,))
+    serial = run_grid(grid, scale=SCALE, seed=3, workers=1)
+    parallel = run_grid(grid, scale=SCALE, seed=3, workers=2)
+    for key in grid.cells():
+        assert serial.results[key].hits == parallel.results[key].hits
+        assert (
+            serial.results[key].push_transfers
+            == parallel.results[key].push_transfers
+        )

@@ -1,0 +1,94 @@
+"""Tests for the SVG figure renderer."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.svg import (
+    PALETTE,
+    figure_to_svg,
+    grouped_bar_chart,
+    line_chart,
+)
+
+
+def parse(svg_text):
+    return xml.dom.minidom.parseString(svg_text)
+
+
+def test_bar_chart_is_valid_xml():
+    svg = grouped_bar_chart(
+        "Fig", ["1%", "5%"], {"gdstar": [20.0, 40.0], "sg2": [30.0, 60.0]}
+    )
+    document = parse(svg)
+    assert document.documentElement.tagName == "svg"
+
+
+def test_bar_chart_one_rect_per_bar():
+    svg = grouped_bar_chart(
+        "Fig", ["a", "b", "c"], {"x": [1.0, 2.0, 3.0], "y": [4.0, 5.0, 6.0]}
+    )
+    rects = parse(svg).getElementsByTagName("rect")
+    # 1 background + 2 legend swatches + 6 bars
+    assert len(rects) == 1 + 2 + 6
+
+
+def test_bar_chart_skips_none_values():
+    svg = grouped_bar_chart("Fig", ["a", "b"], {"x": [1.0, None]})
+    rects = parse(svg).getElementsByTagName("rect")
+    assert len(rects) == 1 + 1 + 1  # background + legend + one bar
+
+
+def test_bar_heights_proportional():
+    svg = grouped_bar_chart("Fig", ["a"], {"half": [50.0], "full": [100.0]}, y_max=100.0)
+    bars = [
+        rect
+        for rect in parse(svg).getElementsByTagName("rect")
+        if rect.getElementsByTagName("title")
+    ]
+    heights = [float(rect.getAttribute("height")) for rect in bars]
+    assert heights[1] == pytest.approx(2 * heights[0], rel=0.01)
+
+
+def test_bar_values_clamped_to_axis():
+    svg = grouped_bar_chart("Fig", ["a"], {"over": [150.0]}, y_max=100.0)
+    bars = [
+        rect
+        for rect in parse(svg).getElementsByTagName("rect")
+        if rect.getElementsByTagName("title")
+    ]
+    assert float(bars[0].getAttribute("height")) <= 360.0
+
+
+def test_line_chart_polylines():
+    svg = line_chart("Fig", {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]})
+    lines = parse(svg).getElementsByTagName("polyline")
+    assert len(lines) == 2
+    points = lines[0].getAttribute("points").split()
+    assert len(points) == 3
+
+
+def test_line_chart_auto_scale():
+    svg = line_chart("Fig", {"a": [10.0, 200.0]})
+    assert "200" in svg or "220" in svg  # y-axis covers the peak
+
+
+def test_title_escaping():
+    svg = grouped_bar_chart("a < b & c", ["x"], {"s": [1.0]})
+    assert "a &lt; b &amp; c" in svg
+    parse(svg)
+
+
+def test_figure_to_svg_dispatch():
+    figure = FigureResult(name="f", data={"s": [1.0, 2.0]})
+    bars = figure_to_svg(figure, kind="bars", column_names=["a", "b"])
+    lines = figure_to_svg(figure, kind="lines")
+    parse(bars)
+    parse(lines)
+    with pytest.raises(ValueError):
+        figure_to_svg(figure, kind="pie")
+
+
+def test_palette_is_distinct():
+    assert len(set(PALETTE)) == len(PALETTE)

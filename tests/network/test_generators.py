@@ -1,0 +1,98 @@
+"""Tests for Waxman and Barabási–Albert topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.network.barabasi import barabasi_albert_graph
+from repro.network.waxman import waxman_graph
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestWaxman:
+    def test_node_count(self):
+        graph = waxman_graph(30, rng())
+        assert graph.node_count == 30
+
+    def test_connected_by_construction(self):
+        for seed in range(5):
+            graph = waxman_graph(40, rng(seed))
+            assert graph.is_connected()
+
+    def test_positions_assigned_within_plane(self):
+        graph = waxman_graph(20, rng(), plane_size=100.0)
+        assert len(graph.positions) == 20
+        for x, y in graph.positions.values():
+            assert 0.0 <= x <= 100.0
+            assert 0.0 <= y <= 100.0
+
+    def test_edge_weights_are_euclidean(self):
+        graph = waxman_graph(15, rng())
+        for u, v, weight in graph.edges():
+            (ux, uy), (vx, vy) = graph.positions[u], graph.positions[v]
+            expected = ((ux - vx) ** 2 + (uy - vy) ** 2) ** 0.5
+            assert weight == pytest.approx(expected)
+
+    def test_links_per_node_bounds_edges(self):
+        graph = waxman_graph(25, rng(), links_per_node=3)
+        # each joining node adds at most 3 edges
+        assert graph.edge_count <= 3 * 24 + 1
+
+    def test_deterministic_for_same_stream(self):
+        a = waxman_graph(20, rng(7))
+        b = waxman_graph(20, rng(7))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_single_node(self):
+        graph = waxman_graph(1, rng())
+        assert graph.node_count == 1
+        assert graph.edge_count == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            waxman_graph(0, rng())
+        with pytest.raises(ValueError):
+            waxman_graph(5, rng(), alpha=0.0)
+        with pytest.raises(ValueError):
+            waxman_graph(5, rng(), beta=0.0)
+        with pytest.raises(ValueError):
+            waxman_graph(5, rng(), links_per_node=0)
+
+    def test_short_edges_preferred(self):
+        graph = waxman_graph(120, rng(1), plane_size=1000.0)
+        weights = [w for _u, _v, w in graph.edges()]
+        diag = 1000.0 * 2**0.5
+        assert np.mean(weights) < 0.4 * diag
+
+
+class TestBarabasiAlbert:
+    def test_node_count_and_connectivity(self):
+        graph = barabasi_albert_graph(50, rng())
+        assert graph.node_count == 50
+        assert graph.is_connected()
+
+    def test_edge_count_formula(self):
+        m = 2
+        n = 30
+        graph = barabasi_albert_graph(n, rng(), links_per_node=m)
+        seed_edges = (m + 1) * m // 2
+        assert graph.edge_count == seed_edges + (n - m - 1) * m
+
+    def test_heavy_tail_degrees(self):
+        graph = barabasi_albert_graph(300, rng(2), links_per_node=2)
+        degrees = sorted((graph.degree(node) for node in graph.nodes()), reverse=True)
+        # preferential attachment produces hubs far above the minimum degree
+        assert degrees[0] >= 5 * 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(2, rng(), links_per_node=2)
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(10, rng(), links_per_node=0)
+
+    def test_deterministic(self):
+        a = barabasi_albert_graph(40, rng(5))
+        b = barabasi_albert_graph(40, rng(5))
+        assert sorted(a.edges()) == sorted(b.edges())

@@ -1,0 +1,127 @@
+"""Tests for the pure-Python graph."""
+
+import pytest
+
+from repro.network.graph import Graph
+
+
+def path_graph(n):
+    graph = Graph()
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1, 1.0)
+    return graph
+
+
+def test_add_nodes_and_edges():
+    graph = Graph()
+    graph.add_edge(0, 1, 2.0)
+    assert graph.node_count == 2
+    assert graph.edge_count == 1
+    assert graph.has_edge(0, 1) and graph.has_edge(1, 0)
+    assert graph.weight(0, 1) == 2.0
+
+
+def test_self_loop_rejected():
+    graph = Graph()
+    with pytest.raises(ValueError):
+        graph.add_edge(3, 3)
+
+
+def test_negative_weight_rejected():
+    graph = Graph()
+    with pytest.raises(ValueError):
+        graph.add_edge(0, 1, -1.0)
+
+
+def test_readd_edge_overwrites_weight():
+    graph = Graph()
+    graph.add_edge(0, 1, 1.0)
+    graph.add_edge(0, 1, 9.0)
+    assert graph.edge_count == 1
+    assert graph.weight(0, 1) == 9.0
+
+
+def test_edges_listed_once():
+    graph = path_graph(4)
+    edges = list(graph.edges())
+    assert len(edges) == 3
+    assert all(u < v for u, v, _w in edges)
+
+
+def test_degree_and_neighbors():
+    graph = path_graph(3)
+    assert graph.degree(1) == 2
+    assert set(graph.neighbors(1)) == {0, 2}
+
+
+def test_hop_distances_on_path():
+    graph = path_graph(5)
+    distances = graph.shortest_paths_from(0)
+    assert distances == {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0, 4: 4.0}
+
+
+def test_weighted_distances_prefer_cheap_detour():
+    graph = Graph()
+    graph.add_edge(0, 1, 10.0)
+    graph.add_edge(0, 2, 1.0)
+    graph.add_edge(2, 1, 1.0)
+    weighted = graph.shortest_paths_from(0, weighted=True)
+    assert weighted[1] == 2.0  # via node 2
+    hops = graph.shortest_paths_from(0, weighted=False)
+    assert hops[1] == 1.0  # direct edge wins on hops
+
+
+def test_unknown_source_raises():
+    graph = path_graph(2)
+    with pytest.raises(KeyError):
+        graph.shortest_paths_from(99)
+
+
+def test_connectivity_detection():
+    graph = path_graph(3)
+    assert graph.is_connected()
+    graph.add_node(99)
+    assert not graph.is_connected()
+
+
+def test_connect_components_links_everything():
+    graph = Graph()
+    graph.add_edge(0, 1)
+    graph.add_edge(2, 3)
+    graph.add_node(4)
+    added = graph.connect_components()
+    assert added == 2
+    assert graph.is_connected()
+
+
+def test_connect_components_uses_positions():
+    graph = Graph()
+    graph.add_edge(0, 1)
+    graph.add_edge(2, 3)
+    graph.positions = {0: (0, 0), 1: (1, 0), 2: (1.1, 0), 3: (50, 0)}
+    graph.connect_components()
+    # closest pair across components is (1, 2)
+    assert graph.has_edge(1, 2)
+
+
+def test_empty_graph_is_connected():
+    assert Graph().is_connected()
+
+
+def test_distances_match_networkx_when_available():
+    networkx = pytest.importorskip("networkx")
+    import numpy as np
+
+    rng = np.random.default_rng(3)
+    graph = Graph()
+    reference = networkx.Graph()
+    for _ in range(60):
+        u, v = rng.integers(0, 20, size=2)
+        if u == v:
+            continue
+        graph.add_edge(int(u), int(v), 1.0)
+        reference.add_edge(int(u), int(v))
+    source = next(iter(graph.nodes()))
+    ours = graph.shortest_paths_from(source)
+    theirs = networkx.single_source_shortest_path_length(reference, source)
+    assert ours == {node: float(dist) for node, dist in theirs.items()}

@@ -1,0 +1,81 @@
+"""Tests for the broker façade."""
+
+import numpy as np
+
+from repro.network.topology import build_topology
+from repro.pubsub.broker import Broker
+from repro.pubsub.pages import Page
+from repro.pubsub.subscriptions import Subscription, topic_is
+
+
+def page(page_id=1, topic="sports"):
+    return Page(page_id=page_id, size=100, topic=topic)
+
+
+def sub(proxy_id, topic, subscriber_id=0):
+    return Subscription(
+        subscriber_id=subscriber_id, proxy_id=proxy_id, predicates=(topic_is(topic),)
+    )
+
+
+def test_publish_assigns_incrementing_versions():
+    broker = Broker()
+    v0 = broker.publish(page())
+    v1 = broker.publish(page())
+    assert v0.version == 0
+    assert v1.version == 1
+    assert broker.current_version(1) == 1
+
+
+def test_current_version_unknown_page():
+    assert Broker().current_version(42) is None
+
+
+def test_publish_counts_notifications():
+    broker = Broker()
+    broker.subscribe(sub(0, "sports", subscriber_id=1))
+    broker.subscribe(sub(2, "sports", subscriber_id=2))
+    broker.subscribe(sub(2, "tech", subscriber_id=3))
+    broker.publish(page(topic="sports"))
+    assert broker.published_count == 1
+    assert broker.notification_count == 2  # proxies 0 and 2
+
+
+def test_matched_proxies():
+    broker = Broker()
+    broker.subscribe(sub(4, "sports"))
+    broker.subscribe(sub(2, "sports"))
+    assert broker.matched_proxies(page(topic="sports")) == [2, 4]
+    assert broker.matched_proxies(page(topic="tech")) == []
+
+
+def test_unsubscribe_stops_notifications():
+    broker = Broker()
+    subscription = sub(0, "sports")
+    broker.subscribe(subscription)
+    broker.unsubscribe(subscription)
+    broker.publish(page(topic="sports"))
+    assert broker.notification_count == 0
+
+
+def test_broker_with_topology_routes_notifications():
+    topology = build_topology(4, np.random.default_rng(0), extra_nodes=2)
+    broker = Broker(topology)
+    broker.subscribe(sub(0, "sports", subscriber_id=1))
+    broker.subscribe(sub(3, "sports", subscriber_id=2))
+    delivered = []
+    broker.routing.on_delivery(
+        lambda proxy, note: delivered.append((proxy, note.match_count))
+    )
+    broker.publish(page(topic="sports"), at=5.0)
+    assert sorted(delivered) == [(0, 1), (3, 1)]
+    assert broker.routing.total_messages > 0
+
+
+def test_versions_are_per_page():
+    broker = Broker()
+    broker.publish(page(page_id=1))
+    broker.publish(page(page_id=2))
+    broker.publish(page(page_id=1))
+    assert broker.current_version(1) == 1
+    assert broker.current_version(2) == 0

@@ -1,0 +1,167 @@
+"""Tests for the distributed broker overlay."""
+
+import numpy as np
+import pytest
+
+from repro.network.topology import build_topology
+from repro.pubsub.matching import MatchingEngine
+from repro.pubsub.overlay import BrokerTree
+from repro.pubsub.pages import Page
+from repro.pubsub.subscriptions import (
+    Subscription,
+    attribute_range,
+    keyword_any,
+    topic_is,
+)
+
+TOPICS = ["a", "b", "c", "d"]
+WORDS = ["w0", "w1", "w2"]
+
+
+def build_tree(proxy_count=6, seed=0, extra=4):
+    topology = build_topology(
+        proxy_count, np.random.default_rng(seed), extra_nodes=extra
+    )
+    return BrokerTree(topology)
+
+
+def random_population(proxy_count, count, seed=1):
+    rng = np.random.default_rng(seed)
+    subscriptions = []
+    for subscriber in range(count):
+        predicates = []
+        if rng.random() < 0.8:
+            predicates.append(topic_is(TOPICS[rng.integers(len(TOPICS))]))
+        if rng.random() < 0.4:
+            predicates.append(keyword_any({WORDS[rng.integers(len(WORDS))]}))
+        if rng.random() < 0.2:
+            predicates.append(attribute_range("p", low=float(rng.integers(4))))
+        subscriptions.append(
+            Subscription(
+                subscriber_id=subscriber,
+                proxy_id=int(rng.integers(proxy_count)),
+                predicates=tuple(predicates),
+            )
+        )
+    return subscriptions
+
+
+def random_pages(count, seed=2):
+    rng = np.random.default_rng(seed)
+    return [
+        Page(
+            page_id=index,
+            size=100,
+            topic=TOPICS[rng.integers(len(TOPICS))],
+            keywords=frozenset({WORDS[rng.integers(len(WORDS))]}),
+            attributes=(("p", int(rng.integers(6))),),
+        )
+        for index in range(count)
+    ]
+
+
+def test_tree_spans_topology():
+    tree = build_tree()
+    assert tree.broker_count == tree.topology.graph.node_count
+    assert tree.root.node_id == tree.topology.publisher_node
+    assert tree.root.parent is None
+
+
+def test_each_proxy_attached_once():
+    tree = build_tree()
+    attached = [
+        proxy
+        for node_id in tree.evaluation_load()
+        for proxy in tree._nodes[node_id].attached_proxies
+    ]
+    assert sorted(attached) == list(range(6))
+
+
+def test_match_counts_equal_centralized():
+    """The distributed tree must agree exactly with a flat engine."""
+    tree = build_tree(proxy_count=8, seed=3)
+    flat = MatchingEngine()
+    for subscription in random_population(8, 120, seed=4):
+        tree.subscribe(subscription)
+        flat.subscribe(subscription)
+    for page in random_pages(60, seed=5):
+        assert tree.match_counts(page) == flat.match_counts(page)
+
+
+def test_covering_suppresses_duplicate_forwarding():
+    tree = build_tree()
+    first = Subscription(
+        subscriber_id=1, proxy_id=2, predicates=(topic_is("a"),)
+    )
+    duplicate = Subscription(
+        subscriber_id=2, proxy_id=2, predicates=(topic_is("a"),)
+    )
+    messages_first = tree.subscribe(first)
+    messages_duplicate = tree.subscribe(duplicate)
+    assert messages_first > 0
+    assert messages_duplicate == 0  # fully covered at the leaf
+
+
+def test_duplicate_interests_still_counted():
+    tree = build_tree()
+    for subscriber in range(3):
+        tree.subscribe(
+            Subscription(
+                subscriber_id=subscriber,
+                proxy_id=2,
+                predicates=(topic_is("a"),),
+            )
+        )
+    counts = tree.match_counts(Page(page_id=1, size=10, topic="a"))
+    assert counts == {2: 3}
+
+
+def test_unmatched_branches_not_descended():
+    tree = build_tree(proxy_count=8, seed=3)
+    tree.subscribe(
+        Subscription(subscriber_id=1, proxy_id=0, predicates=(topic_is("a"),))
+    )
+    tree.match_counts(Page(page_id=1, size=10, topic="zzz"))
+    # only the root evaluated the unmatched page
+    evaluations = tree.evaluation_load()
+    assert evaluations[tree.root.node_id] == 1
+    assert sum(evaluations.values()) == 1
+
+
+def test_publication_messages_follow_matches():
+    tree = build_tree(proxy_count=8, seed=3)
+    tree.subscribe(
+        Subscription(subscriber_id=1, proxy_id=5, predicates=(topic_is("a"),))
+    )
+    before = tree.total_publication_messages()
+    tree.match_counts(Page(page_id=1, size=10, topic="a"))
+    after = tree.total_publication_messages()
+    # exactly the path length from root to proxy 5's broker
+    from repro.pubsub.routing import RoutingTable
+
+    hops = RoutingTable(tree.topology).hops_to(tree.topology.proxy_nodes[5])
+    assert after - before == hops
+
+
+def test_load_distributes_below_root():
+    tree = build_tree(proxy_count=10, seed=6, extra=6)
+    for subscription in random_population(10, 80, seed=7):
+        tree.subscribe(subscription)
+    for page in random_pages(40, seed=8):
+        tree.match_counts(page)
+    load = tree.evaluation_load()
+    root_load = load[tree.root.node_id]
+    assert root_load == 40  # root sees everything...
+    others = [value for node, value in load.items() if node != tree.root.node_id]
+    assert max(others) <= root_load  # ...no broker sees more
+    assert sum(others) > 0  # and the work actually spreads
+
+
+def test_control_messages_bounded_by_subscriptions():
+    tree = build_tree(proxy_count=8, seed=3)
+    population = random_population(8, 100, seed=9)
+    total = sum(tree.subscribe(subscription) for subscription in population)
+    assert total == tree.total_control_messages()
+    # Covering means (strictly, for this population) fewer messages than
+    # subscriptions * path length.
+    assert total < 100 * tree.broker_count

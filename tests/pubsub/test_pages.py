@@ -1,0 +1,57 @@
+"""Tests for pages, versions and notifications."""
+
+import pytest
+
+from repro.pubsub.pages import Notification, Page, PageVersion
+
+
+def test_page_validation():
+    with pytest.raises(ValueError):
+        Page(page_id=1, size=0)
+
+
+def test_page_attribute_dict_includes_topic():
+    page = Page(page_id=1, size=10, topic="sports", attributes=(("region", "eu"),))
+    attributes = page.attribute_dict
+    assert attributes["topic"] == "sports"
+    assert attributes["region"] == "eu"
+
+
+def test_page_explicit_topic_attribute_wins():
+    page = Page(
+        page_id=1, size=10, topic="sports", attributes=(("topic", "override"),)
+    )
+    assert page.attribute_dict["topic"] == "override"
+
+
+def test_page_is_hashable_and_frozen():
+    page = Page(page_id=1, size=10, keywords=frozenset({"a"}))
+    assert hash(page) == hash(Page(page_id=1, size=10, keywords=frozenset({"a"})))
+    with pytest.raises(AttributeError):
+        page.size = 20
+
+
+def test_page_version_key():
+    page = Page(page_id=7, size=10)
+    version = PageVersion(page=page, version=3, published_at=100.0)
+    assert version.key == (7, 3)
+    assert version.page_id == 7
+    assert version.size == 10
+
+
+def test_page_version_validation():
+    page = Page(page_id=1, size=10)
+    with pytest.raises(ValueError):
+        PageVersion(page=page, version=-1, published_at=0.0)
+    with pytest.raises(ValueError):
+        PageVersion(page=page, version=0, published_at=-1.0)
+
+
+def test_notification_validation():
+    with pytest.raises(ValueError):
+        Notification(page_id=1, version=0, size=5, published_at=0.0, match_count=-1)
+
+
+def test_notification_carries_metadata_only():
+    note = Notification(page_id=1, version=2, size=5, published_at=9.0, match_count=3)
+    assert (note.page_id, note.version, note.size, note.match_count) == (1, 2, 5, 3)

@@ -1,0 +1,102 @@
+"""Tests for the subscription-population materialization."""
+
+import numpy as np
+import pytest
+
+from repro.pubsub.matching import MatchingEngine
+from repro.pubsub.population import (
+    EngineMatchCounts,
+    build_population,
+    engine_from_table,
+    make_page,
+    page_category,
+    page_topic,
+)
+
+TABLE = {0: {0: 3, 2: 1}, 5: {1: 2}, 9: {0: 1, 1: 1, 2: 1}}
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def test_population_size_matches_table():
+    population = build_population(TABLE, rng())
+    assert len(population) == sum(
+        count for row in TABLE.values() for count in row.values()
+    )
+
+
+def test_population_counts_exact_via_engine():
+    engine = MatchingEngine()
+    for subscription in build_population(TABLE, rng(), category_fraction=0.5):
+        engine.subscribe(subscription)
+    for page_id, expected in TABLE.items():
+        page = make_page(page_id, size=100)
+        assert engine.match_counts(page) == expected
+
+
+def test_unlisted_page_matches_nothing():
+    counts = engine_from_table(TABLE, {0: 10, 5: 10, 9: 10}, rng())
+    assert counts.match_counts_by_id(12345) == {}
+
+
+def test_category_fraction_zero_uses_single_predicate():
+    population = build_population(TABLE, rng(), category_fraction=0.0)
+    assert all(len(sub.predicates) == 1 for sub in population)
+
+
+def test_category_fraction_one_uses_two_predicates():
+    population = build_population(TABLE, rng(), category_fraction=1.0)
+    assert all(len(sub.predicates) == 2 for sub in population)
+
+
+def test_category_fraction_validation():
+    with pytest.raises(ValueError):
+        build_population(TABLE, rng(), category_fraction=1.5)
+
+
+def test_engine_match_counts_memoizes():
+    adapter = engine_from_table(TABLE, {0: 10, 5: 10, 9: 10}, rng())
+    first = adapter.match_counts_by_id(0)
+    second = adapter.match_counts_by_id(0)
+    assert first == second == TABLE[0]
+    assert adapter.count_for(0, 2) == 1
+    assert adapter.count_for(0, 9) == 0
+
+
+def test_page_metadata_helpers():
+    assert page_topic(7) == "page:7"
+    assert page_category(17, categories=16) == "cat:1"
+    page = make_page(7, size=100)
+    assert page.topic == "page:7"
+    assert page.attribute_dict["category"] == page_category(7)
+
+
+def test_simulation_with_live_engine_matches_table_run():
+    """The full loop: eq. 7 table -> explicit subscribers -> real
+    matching engine -> identical simulation results."""
+    from repro.pubsub.matching import TraceMatchCounts
+    from repro.sim.rng import RandomStreams
+    from repro.system.config import SimulationConfig
+    from repro.system.simulator import run_simulation
+    from repro.workload import build_match_counts, generate_workload, news_config
+
+    workload = generate_workload(
+        news_config(scale=0.02), RandomStreams(6), label="news"
+    )
+    table = build_match_counts(
+        workload.request_pairs(), 1.0, RandomStreams(6).stream("subs")
+    )
+    sizes = {page.page_id: page.size for page in workload.pages}
+    config = SimulationConfig(strategy="sg2", capacity_fraction=0.05)
+
+    with_table = run_simulation(
+        workload, config, match_table=TraceMatchCounts(table)
+    )
+    with_engine = run_simulation(
+        workload, config, match_table=engine_from_table(table, sizes, rng(1))
+    )
+    assert with_engine.hits == with_table.hits
+    assert with_engine.push_transfers == with_table.push_transfers
+    assert with_engine.fetch_pages == with_table.fetch_pages

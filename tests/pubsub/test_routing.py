@@ -1,0 +1,70 @@
+"""Tests for notification routing."""
+
+from repro.network.graph import Graph
+from repro.network.topology import Topology
+from repro.pubsub.pages import Notification
+from repro.pubsub.routing import RoutingEngine, RoutingTable
+
+
+def star_topology():
+    # 0 (publisher) - 1 - {2, 3}; proxy nodes 2 and 3 share edge (0,1).
+    graph = Graph()
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(1, 3)
+    return Topology(graph, publisher_node=0, proxy_nodes=[2, 3])
+
+
+def note(page_id=1):
+    return Notification(page_id=page_id, version=0, size=10, published_at=0.0)
+
+
+def test_routing_table_paths():
+    table = RoutingTable(star_topology())
+    assert table.path_to(2) == [0, 1, 2]
+    assert table.path_to(3) == [0, 1, 3]
+    assert table.hops_to(2) == 2
+
+
+def test_routing_table_unreachable_raises():
+    graph = Graph()
+    graph.add_edge(0, 1)
+    graph.add_node(5)
+    topology = Topology(graph, publisher_node=0, proxy_nodes=[1])
+    table = RoutingTable(topology)
+    try:
+        table.path_to(5)
+        assert False, "expected KeyError"
+    except KeyError:
+        pass
+
+
+def test_multicast_deduplicates_shared_edges():
+    engine = RoutingEngine(star_topology())
+    messages = engine.deliver(note(), [0, 1])  # both proxies
+    # edges used: (0,1) shared once, (1,2), (1,3)
+    assert messages == 3
+    assert engine.link_messages[(0, 1)] == 1
+
+
+def test_unicast_link_counting_accumulates():
+    engine = RoutingEngine(star_topology())
+    engine.deliver(note(), [0])
+    engine.deliver(note(), [0])
+    assert engine.link_messages[(0, 1)] == 2
+    assert engine.link_messages[(1, 2)] == 2
+    assert engine.total_messages == 4
+
+
+def test_delivery_hooks_called_per_proxy():
+    engine = RoutingEngine(star_topology())
+    seen = []
+    engine.on_delivery(lambda proxy, notification: seen.append((proxy, notification.page_id)))
+    engine.deliver(note(page_id=9), [0, 1])
+    assert seen == [(0, 9), (1, 9)]
+
+
+def test_empty_delivery_is_noop():
+    engine = RoutingEngine(star_topology())
+    assert engine.deliver(note(), []) == 0
+    assert engine.total_messages == 0

@@ -1,0 +1,123 @@
+"""Tests for subscription predicates."""
+
+import pytest
+
+from repro.pubsub.pages import Page
+from repro.pubsub.subscriptions import (
+    Subscription,
+    attribute_equals,
+    attribute_in,
+    attribute_range,
+    keyword_all,
+    keyword_any,
+    topic_is,
+)
+
+
+def page(**kwargs):
+    defaults = dict(page_id=1, size=100)
+    defaults.update(kwargs)
+    return Page(**defaults)
+
+
+def test_topic_predicate():
+    predicate = topic_is("sports")
+    assert predicate.matches(page(topic="sports"))
+    assert not predicate.matches(page(topic="politics"))
+
+
+def test_keyword_any():
+    predicate = keyword_any({"nba", "nfl"})
+    assert predicate.matches(page(keywords=frozenset({"nba", "draft"})))
+    assert not predicate.matches(page(keywords=frozenset({"mlb"})))
+
+
+def test_keyword_all():
+    predicate = keyword_all({"nba", "finals"})
+    assert predicate.matches(page(keywords=frozenset({"nba", "finals", "mvp"})))
+    assert not predicate.matches(page(keywords=frozenset({"nba"})))
+
+
+def test_keyword_predicates_require_keywords():
+    with pytest.raises(ValueError):
+        keyword_any(set())
+    with pytest.raises(ValueError):
+        keyword_all(set())
+
+
+def test_attribute_equals():
+    predicate = attribute_equals("region", "eu")
+    assert predicate.matches(page(attributes=(("region", "eu"),)))
+    assert not predicate.matches(page(attributes=(("region", "us"),)))
+    assert not predicate.matches(page())
+
+
+def test_attribute_in():
+    predicate = attribute_in("region", {"eu", "us"})
+    assert predicate.matches(page(attributes=(("region", "us"),)))
+    assert not predicate.matches(page(attributes=(("region", "apac"),)))
+    with pytest.raises(ValueError):
+        attribute_in("region", set())
+
+
+def test_attribute_range():
+    predicate = attribute_range("priority", low=2, high=5)
+    assert predicate.matches(page(attributes=(("priority", 3),)))
+    assert not predicate.matches(page(attributes=(("priority", 6),)))
+    assert not predicate.matches(page(attributes=(("priority", "high"),)))
+    assert not predicate.matches(page())
+
+
+def test_attribute_range_open_ended():
+    low_only = attribute_range("p", low=3)
+    assert low_only.matches(page(attributes=(("p", 100),)))
+    assert not low_only.matches(page(attributes=(("p", 2),)))
+    high_only = attribute_range("p", high=3)
+    assert high_only.matches(page(attributes=(("p", 1),)))
+
+
+def test_attribute_range_validation():
+    with pytest.raises(ValueError):
+        attribute_range("p")
+    with pytest.raises(ValueError):
+        attribute_range("p", low=5, high=2)
+
+
+def test_subscription_conjunction():
+    subscription = Subscription(
+        subscriber_id=1,
+        proxy_id=0,
+        predicates=(topic_is("sports"), keyword_any({"nba"})),
+    )
+    assert subscription.matches(page(topic="sports", keywords=frozenset({"nba"})))
+    assert not subscription.matches(page(topic="sports"))
+    assert not subscription.matches(page(topic="tech", keywords=frozenset({"nba"})))
+
+
+def test_empty_subscription_matches_everything():
+    subscription = Subscription(subscriber_id=1, proxy_id=0)
+    assert subscription.matches(page(topic="anything"))
+
+
+def test_subscription_ids_are_unique():
+    a = Subscription(subscriber_id=1, proxy_id=0)
+    b = Subscription(subscriber_id=1, proxy_id=0)
+    assert a.subscription_id != b.subscription_id
+
+
+def test_keyword_terms_collects_all():
+    subscription = Subscription(
+        subscriber_id=1,
+        proxy_id=0,
+        predicates=(keyword_any({"a", "b"}), keyword_all({"c"})),
+    )
+    assert subscription.keyword_terms == frozenset({"a", "b", "c"})
+
+
+def test_indexable_terms():
+    assert topic_is("x").indexable_terms == (("topic", "x"),)
+    assert attribute_equals("k", 1).indexable_terms == (("k", 1),)
+    terms = attribute_in("k", {1, 2}).indexable_terms
+    assert set(terms) == {("k", 1), ("k", 2)}
+    assert keyword_any({"a"}).indexable_terms is None
+    assert attribute_range("k", low=0).indexable_terms is None

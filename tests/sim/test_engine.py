@@ -1,0 +1,191 @@
+"""Tests for the discrete-event engine core."""
+
+import pytest
+
+from repro.sim.engine import Environment, Event, SimulationError, Timeout, URGENT, NORMAL
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_starts_at_initial_time():
+    env = Environment(initial_time=42.0)
+    assert env.now == 42.0
+
+
+def test_schedule_runs_callback_at_time():
+    env = Environment()
+    seen = []
+    env.schedule(5.0, lambda e: seen.append(e.now))
+    env.run()
+    assert seen == [5.0]
+    assert env.now == 5.0
+
+
+def test_schedule_order_is_chronological():
+    env = Environment()
+    seen = []
+    env.schedule(3.0, lambda e: seen.append("c"))
+    env.schedule(1.0, lambda e: seen.append("a"))
+    env.schedule(2.0, lambda e: seen.append("b"))
+    env.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_same_time_priority_order():
+    env = Environment()
+    seen = []
+    env.schedule(1.0, lambda e: seen.append("normal"), priority=NORMAL)
+    env.schedule(1.0, lambda e: seen.append("urgent"), priority=URGENT)
+    env.run()
+    assert seen == ["urgent", "normal"]
+
+
+def test_same_time_same_priority_is_fifo():
+    env = Environment()
+    seen = []
+    for label in "abcde":
+        env.schedule(1.0, lambda e, l=label: seen.append(l))
+    env.run()
+    assert seen == list("abcde")
+
+
+def test_cannot_schedule_into_the_past():
+    env = Environment()
+    env.schedule(1.0, lambda e: None)
+    env.run()
+    with pytest.raises(SimulationError):
+        env.schedule(0.5, lambda e: None)
+
+
+def test_run_until_stops_before_later_events():
+    env = Environment()
+    seen = []
+    env.schedule(1.0, lambda e: seen.append(1))
+    env.schedule(10.0, lambda e: seen.append(10))
+    env.run(until=5.0)
+    assert seen == [1]
+    assert env.now == 5.0
+    env.run()
+    assert seen == [1, 10]
+
+
+def test_run_until_in_past_raises():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(SimulationError):
+        env.run(until=5.0)
+
+
+def test_peek_empty_agenda_is_inf():
+    env = Environment()
+    assert env.peek() == float("inf")
+
+
+def test_peek_returns_next_event_time():
+    env = Environment()
+    env.schedule(7.0, lambda e: None)
+    assert env.peek() == 7.0
+
+
+def test_step_empty_agenda_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_event_succeed_delivers_value():
+    env = Environment()
+    event = env.event()
+    got = []
+    event.callbacks.append(lambda e: got.append(e.value))
+    event.succeed("payload")
+    env.run()
+    assert got == ["payload"]
+    assert event.ok
+    assert event.processed
+
+
+def test_event_fail_carries_exception():
+    env = Environment()
+    event = env.event()
+    event.fail(ValueError("boom"))
+    env.run()
+    assert not event.ok
+    assert isinstance(event.value, ValueError)
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+    with pytest.raises(SimulationError):
+        event.fail(RuntimeError("x"))
+
+
+def test_event_fail_requires_exception_instance():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_untriggered_event_has_no_value():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+    with pytest.raises(SimulationError):
+        _ = event.ok
+
+
+def test_timeout_fires_after_delay():
+    env = Environment()
+    timeout = env.timeout(3.5, value="done")
+    env.run()
+    assert env.now == 3.5
+    assert timeout.value == "done"
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_succeed_with_delay_schedules_later():
+    env = Environment()
+    seen = []
+    event = env.event()
+    event.callbacks.append(lambda e: seen.append(env.now))
+    event.succeed(delay=4.0)
+    env.run()
+    assert seen == [4.0]
+
+
+def test_callbacks_cleared_after_processing():
+    env = Environment()
+    event = env.timeout(0.0)
+    env.run()
+    assert event.callbacks == []
+
+
+def test_nested_scheduling_from_callback():
+    env = Environment()
+    seen = []
+
+    def outer(e):
+        seen.append(("outer", e.now))
+        env.schedule(e.now + 1.0, lambda e2: seen.append(("inner", e2.now)))
+
+    env.schedule(1.0, outer)
+    env.run()
+    assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+
+def test_timeout_subclass_is_event():
+    env = Environment()
+    assert isinstance(env.timeout(1.0), Event)
+    assert isinstance(env.timeout(1.0), Timeout)

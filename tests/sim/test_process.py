@@ -1,0 +1,190 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.process import Interrupt, Process
+
+
+def test_process_advances_through_timeouts():
+    env = Environment()
+    trail = []
+
+    def worker():
+        trail.append(env.now)
+        yield env.timeout(2.0)
+        trail.append(env.now)
+        yield env.timeout(3.0)
+        trail.append(env.now)
+
+    env.process(worker())
+    env.run()
+    assert trail == [0.0, 2.0, 5.0]
+
+
+def test_process_receives_timeout_value():
+    env = Environment()
+    got = []
+
+    def worker():
+        value = yield env.timeout(1.0, value="tick")
+        got.append(value)
+
+    env.process(worker())
+    env.run()
+    assert got == ["tick"]
+
+
+def test_process_return_value_becomes_event_value():
+    env = Environment()
+
+    def worker():
+        yield env.timeout(1.0)
+        return 99
+
+    process = env.process(worker())
+    env.run()
+    assert process.value == 99
+    assert process.ok
+
+
+def test_process_can_wait_on_another_process():
+    env = Environment()
+    trail = []
+
+    def child():
+        yield env.timeout(5.0)
+        return "child-done"
+
+    def parent():
+        result = yield env.process(child())
+        trail.append((env.now, result))
+
+    env.process(parent())
+    env.run()
+    assert trail == [(5.0, "child-done")]
+
+
+def test_process_sees_failed_event_as_exception():
+    env = Environment()
+    caught = []
+
+    def worker():
+        event = env.event()
+        event.fail(ValueError("expected"))
+        try:
+            yield event
+        except ValueError as error:
+            caught.append(str(error))
+
+    env.process(worker())
+    env.run()
+    assert caught == ["expected"]
+
+
+def test_interrupt_reaches_process():
+    env = Environment()
+    caught = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            caught.append((env.now, interrupt.cause))
+
+    process = env.process(sleeper())
+    env.schedule(3.0, lambda e: process.interrupt("wake up"))
+    env.run()
+    assert caught == [(3.0, "wake up")]
+
+
+def test_uncaught_interrupt_fails_process():
+    env = Environment()
+
+    def sleeper():
+        yield env.timeout(100.0)
+
+    process = env.process(sleeper())
+    env.schedule(1.0, lambda e: process.interrupt())
+    env.run()
+    assert not process.ok
+    assert isinstance(process.value, Interrupt)
+
+
+def test_interrupt_finished_process_raises():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(0.0)
+
+    process = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        process.interrupt()
+
+
+def test_yielding_non_event_fails_process():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    process = env.process(bad())
+    env.run()
+    assert not process.ok
+    assert isinstance(process.value, SimulationError)
+
+
+def test_non_generator_target_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Process(env, lambda: None)
+
+
+def test_yield_already_processed_event_resumes():
+    env = Environment()
+    done = env.timeout(0.0)
+    trail = []
+
+    def late_waiter():
+        yield env.timeout(5.0)
+        value = yield done  # already processed by now
+        trail.append((env.now, value))
+
+    env.process(late_waiter())
+    env.run()
+    assert trail == [(5.0, None)]
+
+
+def test_is_alive_tracks_lifecycle():
+    env = Environment()
+
+    def worker():
+        yield env.timeout(1.0)
+
+    process = env.process(worker())
+    assert process.is_alive
+    env.run()
+    assert not process.is_alive
+
+
+def test_two_processes_interleave_deterministically():
+    env = Environment()
+    trail = []
+
+    def ticker(name, period):
+        for _ in range(3):
+            yield env.timeout(period)
+            trail.append((env.now, name))
+
+    env.process(ticker("a", 1.0))
+    env.process(ticker("b", 1.5))
+    env.run()
+    assert trail == [
+        (1.0, "a"),
+        (1.5, "b"),
+        (2.0, "a"),
+        (3.0, "b"),
+        (3.0, "a"),
+        (4.5, "b"),
+    ]

@@ -1,0 +1,169 @@
+"""Tests for Resource and Store."""
+
+import pytest
+
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.resources import Resource, Store
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+    trail = []
+
+    def worker(name, hold):
+        with resource.request() as req:
+            yield req
+            trail.append(("got", name, env.now))
+            yield env.timeout(hold)
+        trail.append(("rel", name, env.now))
+
+    env.process(worker("a", 5.0))
+    env.process(worker("b", 5.0))
+    env.process(worker("c", 5.0))
+    env.run()
+    got_times = {name: t for kind, name, t in trail if kind == "got"}
+    assert got_times["a"] == 0.0
+    assert got_times["b"] == 0.0
+    assert got_times["c"] == 5.0  # waited for a slot
+
+
+def test_resource_fifo_queue():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    order = []
+
+    def worker(name):
+        with resource.request() as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1.0)
+
+    for name in "abcd":
+        env.process(worker(name))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_resource_counts():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+
+    def holder():
+        with resource.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    env.process(holder())
+    env.process(holder())
+    env.run(until=1.0)
+    assert resource.count == 1
+    assert resource.queue_length == 1
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_release_ungranted_request_cancels_it():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+
+    def holder():
+        with resource.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    env.process(holder())
+    env.run(until=0.5)
+    queued = resource.request()
+    assert resource.queue_length == 1
+    resource.release(queued)
+    assert resource.queue_length == 0
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        yield store.put("x")
+        yield store.put("y")
+
+    def consumer():
+        item = yield store.get()
+        got.append(item)
+        item = yield store.get()
+        got.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == ["x", "y"]
+
+
+def test_store_get_waits_for_item():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def late_producer():
+        yield env.timeout(4.0)
+        yield store.put("late")
+
+    env.process(consumer())
+    env.process(late_producer())
+    env.run()
+    assert got == [(4.0, "late")]
+
+
+def test_store_bounded_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    trail = []
+
+    def producer():
+        yield store.put("first")
+        trail.append(("put-first", env.now))
+        yield store.put("second")
+        trail.append(("put-second", env.now))
+
+    def slow_consumer():
+        yield env.timeout(3.0)
+        yield store.get()
+
+    env.process(producer())
+    env.process(slow_consumer())
+    env.run()
+    assert ("put-first", 0.0) in trail
+    assert ("put-second", 3.0) in trail
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    for item in range(5):
+        store.put(item)
+    got = []
+
+    def consumer():
+        for _ in range(5):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(consumer())
+    env.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_store_capacity_validation():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Store(env, capacity=0)

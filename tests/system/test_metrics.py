@@ -1,0 +1,87 @@
+"""Tests for SimulationResult and HourlySeries."""
+
+import pytest
+
+from repro.system.metrics import HourlySeries, SimulationResult
+
+
+def make_result(**overrides):
+    fields = dict(
+        strategy="sg2",
+        trace_label="news",
+        capacity_fraction=0.05,
+        subscription_quality=1.0,
+        pushing_scheme="when-necessary",
+        requests=100,
+        hits=60,
+        stale_hits=5,
+        push_transfers=30,
+        push_bytes=3000,
+        fetch_pages=40,
+        fetch_bytes=4000,
+        hour_count=3,
+        hourly_requests=[50, 30, 20],
+        hourly_hits=[40, 15, 5],
+        hourly_push_pages=[10, 10, 10],
+        hourly_fetch_pages=[10, 20, 10],
+        hourly_push_bytes=[1000, 1000, 1000],
+        hourly_fetch_bytes=[1000, 2000, 1000],
+    )
+    fields.update(overrides)
+    return SimulationResult(**fields)
+
+
+def test_hit_ratio():
+    assert make_result().hit_ratio == pytest.approx(0.6)
+    assert make_result(requests=0, hits=0).hit_ratio == 0.0
+
+
+def test_traffic_totals():
+    result = make_result()
+    assert result.traffic_pages == 70
+    assert result.traffic_bytes == 7000
+
+
+def test_hourly_hit_ratio():
+    result = make_result()
+    assert result.hourly_hit_ratio() == [
+        pytest.approx(0.8),
+        pytest.approx(0.5),
+        pytest.approx(0.25),
+    ]
+
+
+def test_hourly_hit_ratio_empty_hour():
+    result = make_result(hourly_requests=[0, 30, 20], hourly_hits=[0, 15, 5])
+    assert result.hourly_hit_ratio()[0] == 0.0
+
+
+def test_hourly_traffic():
+    result = make_result()
+    assert result.hourly_traffic_pages() == [20, 30, 20]
+    assert result.hourly_traffic_bytes() == [2000, 3000, 2000]
+
+
+def test_summary_mentions_key_fields():
+    text = make_result().summary()
+    assert "sg2" in text
+    assert "news" in text
+    assert "60.00%" in text
+
+
+def test_hourly_series():
+    series = HourlySeries()
+    series.add(0, 1.0)
+    series.add(0, 2.0)
+    series.add(4, 5.0)
+    assert series.dense(6) == [3.0, 0.0, 0.0, 0.0, 5.0, 0.0]
+
+
+def test_mean_response_time():
+    result = make_result(total_response_time=2.0)
+    assert result.mean_response_time == pytest.approx(0.02)
+    assert make_result(requests=0, hits=0).mean_response_time == 0.0
+
+
+def test_summary_includes_response_time():
+    assert "rt=" in make_result(total_response_time=2.0).summary()

@@ -1,0 +1,140 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_run_command(capsys):
+    code = main(
+        [
+            "run",
+            "--strategy",
+            "sg2",
+            "--trace",
+            "news",
+            "--scale",
+            "0.03",
+            "--seed",
+            "3",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sg2" in out and "news" in out and "H=" in out
+
+
+def test_trace_stats_command(capsys):
+    code = main(["trace-stats", "--trace", "news", "--scale", "0.03", "--seed", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "distinct pages" in out
+    assert "requests" in out
+
+
+def test_figure_command_rejects_unknown(capsys):
+    code = main(["figure", "99", "--scale", "0.03"])
+    assert code == 2
+
+
+def test_table_command_rejects_unknown(capsys):
+    code = main(["table", "1", "--scale", "0.03"])
+    assert code == 2
+
+
+def test_table2_command(capsys):
+    code = main(["table", "2", "--scale", "0.03", "--seed", "3"])
+    assert code == 0
+    assert "Table 2" in capsys.readouterr().out
+
+
+def test_figure3_command(capsys):
+    code = main(["figure", "3", "--scale", "0.03", "--seed", "3"])
+    assert code == 0
+    assert "Figure 3" in capsys.readouterr().out
+
+
+def test_run_rejects_unknown_strategy():
+    with pytest.raises(SystemExit):
+        main(["run", "--strategy", "bogus"])
+
+
+def test_calibrate_beta_command(capsys):
+    code = main(
+        ["calibrate-beta", "--trace", "news", "--scale", "0.03", "--seed", "3",
+         "--prefix", "0.3"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "best beta" in out
+    assert "gdstar" in out and "sg2" in out
+
+
+def test_generate_trace_command(tmp_path, capsys):
+    target = tmp_path / "trace.json"
+    code = main(
+        ["generate-trace", "--trace", "news", "--scale", "0.02", "--seed", "3",
+         "--output", str(target)]
+    )
+    assert code == 0
+    assert "wrote" in capsys.readouterr().out
+    from repro.workload.trace import Workload
+
+    restored = Workload.from_json(target.read_text())
+    assert restored.request_count > 0
+
+
+def test_trace_stats_validate_flag(capsys):
+    code = main(
+        ["trace-stats", "--trace", "news", "--scale", "0.2", "--seed", "9",
+         "--validate"]
+    )
+    assert code == 0
+    assert "workload validation: PASS" in capsys.readouterr().out
+
+
+def test_figure_svg_output(tmp_path, capsys):
+    code = main(
+        ["figure", "3", "--scale", "0.03", "--seed", "3", "--svg", str(tmp_path)]
+    )
+    assert code == 0
+    svg_file = tmp_path / "figure3.svg"
+    assert svg_file.exists()
+    import xml.dom.minidom
+
+    xml.dom.minidom.parse(str(svg_file))
+
+
+def test_seed_sweep_command(capsys):
+    code = main(
+        ["seed-sweep", "--strategy", "sg2", "--seeds", "2", "--scale", "0.03"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sg2 vs gdstar" in out
+
+
+def test_sweep_beta_command(capsys):
+    code = main(["sweep-beta", "--trace", "news", "--scale", "0.03", "--seed", "3"])
+    assert code == 0
+    assert "β sweep" in capsys.readouterr().out
+
+
+def test_report_command(tmp_path, capsys):
+    code = main(
+        ["report", "--scale", "0.03", "--seed", "3", "--output", str(tmp_path)]
+    )
+    assert code == 0
+    report = tmp_path / "REPORT.md"
+    assert report.exists()
+    text = report.read_text()
+    assert "Reproduction report" in text
+    assert "figure4a" in text and "table2" in text and "beta_sweep" in text
+    svgs = list(tmp_path.glob("*.svg"))
+    assert len(svgs) >= 9  # fig3 + 4a/4b + 5a/5b + 6a/6b + 7a/7b

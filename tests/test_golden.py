@@ -1,0 +1,64 @@
+"""Golden regression tests.
+
+Fixed seed, fixed scale — these pin down exact end-to-end numbers so
+that any unintended behavioural change in the workload generator, the
+policies or the simulator shows up as a diff.  If a change is
+*intentional* (a documented model change), regenerate the constants
+with::
+
+    python -m tests.test_golden
+"""
+
+import pytest
+
+from repro.sim.rng import RandomStreams
+from repro.system.config import SimulationConfig
+from repro.system.simulator import run_simulation
+from repro.workload import generate_workload, news_config
+
+SCALE = 0.05
+SEED = 13
+
+#: strategy -> (hits, push_transfers, fetch_pages); regenerate via
+#: ``python -m tests.test_golden`` after an intentional model change.
+GOLDEN = {
+    "gdstar": (7299, 0, 2451),
+    "sub": (8206, 1998, 1544),
+    "sg2": (8678, 1997, 1072),
+    "dc-lap": (7670, 1932, 2080),
+}
+
+
+def _compute():
+    workload = generate_workload(
+        news_config(scale=SCALE), RandomStreams(SEED), label="news"
+    )
+    out = {}
+    for strategy in GOLDEN:
+        result = run_simulation(
+            workload,
+            SimulationConfig(strategy=strategy, capacity_fraction=0.05, seed=SEED),
+        )
+        out[strategy] = (result.hits, result.push_transfers, result.fetch_pages)
+    return out
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return _compute()
+
+
+@pytest.mark.parametrize("strategy", sorted(GOLDEN))
+def test_golden_values(measured, strategy):
+    assert measured[strategy] == GOLDEN[strategy], (
+        f"{strategy} changed: {measured[strategy]} != golden "
+        f"{GOLDEN[strategy]}; if intentional, regenerate with "
+        f"`python -m tests.test_golden`"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration helper
+    print("GOLDEN = {")
+    for strategy, values in _compute().items():
+        print(f'    "{strategy}": {values},')
+    print("}")

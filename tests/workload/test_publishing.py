@@ -1,0 +1,136 @@
+"""Tests for the publishing stream generator."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.workload.config import DAY, HOUR, WorkloadConfig
+from repro.workload.publishing import (
+    _page_fractions,
+    choose_modified_pages,
+    first_publish_times,
+    generate_publishing_stream,
+    modification_intervals,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def test_page_fractions_sum_to_one():
+    fractions = _page_fractions(WorkloadConfig())
+    assert fractions.sum() == pytest.approx(1.0)
+    assert all(fractions > 0)
+
+
+def test_page_fractions_shift_mass_to_slow_steps():
+    # Event-weighting means far fewer *pages* have short intervals than
+    # the 5 % event share (short-interval pages emit many events).
+    fractions = _page_fractions(WorkloadConfig())
+    assert fractions[0] < 0.05
+    assert fractions[2] > 0.05
+
+
+def test_intervals_within_step_bounds():
+    config = WorkloadConfig()
+    intervals = modification_intervals(5000, config, rng())
+    assert intervals.min() >= config.min_interval
+    assert intervals.max() <= config.max_interval
+
+
+def test_intervals_empty():
+    assert len(modification_intervals(0, WorkloadConfig(), rng())) == 0
+
+
+def test_event_weighted_interval_mix():
+    """Realized event shares should approximate the 5/90/5 targets."""
+    config = WorkloadConfig()
+    intervals = modification_intervals(2400, config, rng(3))
+    window = config.horizon / 2.0  # expected remaining window
+    events = window / intervals
+    total = events.sum()
+    short_share = events[intervals < HOUR].sum() / total
+    long_share = events[intervals > DAY].sum() / total
+    assert 0.01 < short_share < 0.15
+    assert 0.01 < long_share < 0.15
+
+
+def test_first_publish_times_uniform_over_horizon():
+    config = WorkloadConfig().scaled(0.5)
+    times = first_publish_times(config, rng())
+    assert times.min() >= 0.0
+    assert times.max() <= config.horizon
+    assert np.mean(times) == pytest.approx(config.horizon / 2, rel=0.1)
+
+
+def test_choose_modified_uniform_without_counts():
+    config = WorkloadConfig().scaled(0.1)
+    chosen = choose_modified_pages(config, rng())
+    assert len(chosen) == config.modified_pages
+    assert len(set(chosen)) == len(chosen)
+
+
+def test_choose_modified_biased_towards_popular():
+    config = dataclasses.replace(
+        WorkloadConfig().scaled(0.1), modified_popularity_bias=2.0
+    )
+    counts = np.zeros(config.distinct_pages)
+    counts[:10] = 10_000  # ten very popular pages
+    hits = 0
+    for seed in range(20):
+        chosen = set(choose_modified_pages(config, rng(seed), counts).tolist())
+        hits += len(chosen & set(range(10)))
+    assert hits >= 20 * 9  # popular pages essentially always chosen
+
+
+def test_choose_modified_bias_zero_recovers_uniform():
+    config = dataclasses.replace(
+        WorkloadConfig().scaled(0.1), modified_popularity_bias=0.0
+    )
+    counts = np.zeros(config.distinct_pages)
+    counts[0] = 1e9
+    chosen_with = choose_modified_pages(config, rng(5), counts)
+    chosen_without = choose_modified_pages(config, rng(5), None)
+    assert np.array_equal(chosen_with, chosen_without)
+
+
+def test_stream_structure():
+    config = WorkloadConfig().scaled(0.05)
+    first, intervals, versions = generate_publishing_stream(config, rng())
+    assert len(first) == config.distinct_pages
+    assert len(versions) == config.distinct_pages
+    modified = np.count_nonzero(intervals)
+    assert modified == config.modified_pages
+    for page_id, times in enumerate(versions):
+        assert times[0] == pytest.approx(first[page_id])
+        assert all(t <= config.horizon for t in times)
+        if intervals[page_id] == 0.0:
+            assert len(times) == 1
+        else:
+            deltas = np.diff(times)
+            assert np.allclose(deltas, intervals[page_id])
+
+
+def test_interval_coupling_gives_popular_pages_short_intervals():
+    config = WorkloadConfig().scaled(0.2)
+    counts = np.arange(config.distinct_pages, dtype=float)[::-1]  # page 0 most popular
+    _first, intervals, _versions = generate_publishing_stream(
+        config, rng(2), popularity_counts=counts
+    )
+    modified_ids = np.nonzero(intervals)[0]
+    popular_half = modified_ids[modified_ids < config.distinct_pages // 2]
+    unpopular_half = modified_ids[modified_ids >= config.distinct_pages // 2]
+    if len(popular_half) and len(unpopular_half):
+        assert np.median(intervals[popular_half]) < np.median(
+            intervals[unpopular_half]
+        )
+
+
+def test_total_volume_near_paper():
+    """With the paper's parameters the stream should land near 30 147."""
+    config = WorkloadConfig()
+    _first, _intervals, versions = generate_publishing_stream(config, rng(7))
+    total = sum(len(times) for times in versions)
+    assert 20_000 < total < 40_000

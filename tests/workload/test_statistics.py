@@ -1,0 +1,99 @@
+"""Statistical checks on generated traces.
+
+These verify the distributional claims of §4 on realized traces (not
+just the building blocks): Zipf-shaped request concentration, negative
+age correlation, popularity-dependent server spread, and the
+subscription invariants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RandomStreams
+from repro.workload import build_match_counts, generate_workload, news_config
+from repro.workload.config import DAY
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_workload(news_config(scale=0.2), RandomStreams(9), label="news")
+
+
+def test_request_concentration_is_zipf_like(trace):
+    """Top 1 % of pages should absorb the majority of requests at α=1.5."""
+    counts = np.sort([page.request_count for page in trace.pages])[::-1]
+    top = max(1, len(counts) // 100)
+    share = counts[:top].sum() / counts.sum()
+    assert share > 0.4
+
+
+def test_rank_orders_request_counts(trace):
+    """Spearman-style check: lower rank => more requests (on average)."""
+    by_rank = sorted(trace.pages, key=lambda page: page.rank)
+    first_decile = np.mean([p.request_count for p in by_rank[: len(by_rank) // 10]])
+    last_decile = np.mean([p.request_count for p in by_rank[-len(by_rank) // 10 :]])
+    assert first_decile > 10 * max(last_decile, 0.1)
+
+
+def test_age_correlation_is_negative(trace):
+    """Most requests arrive soon after a version is published."""
+    ages = []
+    version_time = {}
+    for page in trace.pages:
+        times = [
+            page.first_publish + k * page.modification_interval
+            if page.modification_interval
+            else page.first_publish
+            for k in range(page.version_count)
+        ]
+        version_time[page.page_id] = np.asarray(times)
+    for record in trace.requests[:: max(1, trace.request_count // 5000)]:
+        times = version_time[record.page_id]
+        current = times[times <= record.time + 1e-9]
+        if len(current):
+            ages.append(record.time - current[-1])
+    ages = np.asarray(ages)
+    # median request age (from its version) well under one day
+    assert np.median(ages) < DAY
+
+
+def test_popular_pages_reach_more_servers(trace):
+    from collections import defaultdict
+
+    servers = defaultdict(set)
+    for record in trace.requests:
+        servers[record.page_id].add(record.server_id)
+    pages = sorted(trace.pages, key=lambda page: -page.request_count)
+    popular = np.mean([len(servers[p.page_id]) for p in pages[:20]])
+    mid = [p for p in pages if 0 < p.request_count <= 5]
+    if mid:
+        niche = np.mean([len(servers[p.page_id]) for p in mid[:200]])
+        assert popular > 2 * niche
+
+
+def test_popular_pages_update_more(trace):
+    """The popularity/update coupling (DESIGN.md decision 1-2)."""
+    pages = sorted(trace.pages, key=lambda page: -page.request_count)
+    top = pages[: len(pages) // 20]
+    bottom = pages[-len(pages) // 2 :]
+    top_versions = np.mean([p.version_count for p in top])
+    bottom_versions = np.mean([p.version_count for p in bottom])
+    assert top_versions > bottom_versions
+
+
+def test_subscription_table_is_static_and_consistent(trace):
+    table = build_match_counts(
+        trace.request_pairs(), 1.0, RandomStreams(9).stream("subs")
+    )
+    # every requested (page, server) pair has a subscription footprint
+    for page_id, server_id in set(trace.request_pairs()):
+        assert table[page_id][server_id] >= 1
+    # and at SQ=1 total subscriptions equal total requests
+    total = sum(c for per in table.values() for c in per.values())
+    assert total == trace.request_count
+
+
+def test_publish_volume_scales(trace):
+    """~5x the distinct pages at the paper's modification mix."""
+    ratio = trace.publish_count / len(trace.pages)
+    assert 2.0 < ratio < 8.0

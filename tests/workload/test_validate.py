@@ -1,0 +1,45 @@
+"""Tests for workload validation."""
+
+import pytest
+
+from repro.sim.rng import RandomStreams
+from repro.workload import generate_workload, news_config, alternative_config
+from repro.workload.validate import ValidationCheck, validate_workload
+
+
+@pytest.fixture(scope="module")
+def report():
+    trace = generate_workload(news_config(scale=0.2), RandomStreams(9), label="news")
+    return validate_workload(trace)
+
+
+def test_generated_news_trace_validates(report):
+    assert report.ok, report.render()
+
+
+def test_report_contains_core_checks(report):
+    names = {check.name for check in report.checks}
+    assert any("publish volume" in name for name in names)
+    assert any("top-1%" in name for name in names)
+    assert any("median page size" in name for name in names)
+    assert any("request age" in name for name in names)
+
+
+def test_alternative_trace_validates():
+    trace = generate_workload(
+        alternative_config(scale=0.2), RandomStreams(9), label="alternative"
+    )
+    report = validate_workload(trace)
+    assert report.ok, report.render()
+
+
+def test_check_rendering():
+    check = ValidationCheck(name="x", measured=5.0, low=0.0, high=10.0)
+    assert "ok" in check.render()
+    failing = ValidationCheck(name="x", measured=50.0, low=0.0, high=10.0)
+    assert "FAIL" in failing.render()
+    assert not failing.ok
+
+
+def test_report_render_has_verdict(report):
+    assert "workload validation: PASS" in report.render()
