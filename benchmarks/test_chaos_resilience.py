@@ -1,0 +1,121 @@
+"""Chaos resilience — graceful degradation under fault injection.
+
+GD* (pull-only) and SUB (push-only) run under one identical
+proxy-crash + publisher-outage schedule (the schedule is a pure
+function of the seed, not of the strategy), and the measured quantities
+are what the paper's fair-weather comparison cannot show: failed
+request counts, availability, and how fast a cold-restarted cache
+re-warms — where push-time placement re-warms caches before users ask.
+
+The suite also asserts the layer's safety property: with an *empty*
+fault schedule every pre-existing metric is bit-identical to a run
+without the faults layer.
+"""
+
+import dataclasses
+
+from benchmarks.conftest import run_once
+from repro.experiments.report import render_table
+from repro.experiments.runner import trace_for
+from repro.faults.spec import ChaosSpec
+from repro.system.config import SimulationConfig
+from repro.system.simulator import run_simulation
+
+STRATEGIES = ("gdstar", "sub")
+
+#: Harsh weather over the one-week trace: eligible proxies crash about
+#: daily for about an hour; the origin goes dark a couple of times.
+CHAOS = ChaosSpec(
+    proxy_mtbf=86_400.0,
+    proxy_mttr=3_600.0,
+    crash_fraction=0.5,
+    publisher_mtbf=259_200.0,
+    publisher_mttr=1_800.0,
+)
+
+#: SimulationResult fields only the faults layer populates.
+FAULT_FIELDS = {
+    "failed_requests",
+    "degraded_requests",
+    "hourly_failed",
+    "hourly_degraded",
+    "proxy_crashes",
+    "proxy_downtime_seconds",
+    "publisher_outage_seconds",
+    "pushes_suppressed",
+    "time_to_warm_seconds",
+    "unwarmed_recoveries",
+    "recovery_curve_requests",
+    "recovery_curve_hits",
+    "recovery_bin_seconds",
+}
+
+
+def test_chaos_resilience(benchmark, bench_scale, bench_seed):
+    workload = trace_for("news", bench_scale, bench_seed)
+
+    def compare():
+        results = {}
+        for strategy in STRATEGIES:
+            results[strategy] = run_simulation(
+                workload,
+                SimulationConfig(
+                    strategy=strategy,
+                    capacity_fraction=0.05,
+                    seed=bench_seed,
+                    chaos=CHAOS,
+                ),
+            )
+        return results
+
+    results = run_once(benchmark, compare)
+    rows = {
+        strategy: [
+            100.0 * result.hit_ratio,
+            100.0 * result.availability,
+            float(result.failed_requests),
+            float(result.proxy_crashes),
+            result.mean_time_to_warm,
+        ]
+        for strategy, result in results.items()
+    }
+    text = render_table(
+        "Chaos — GD* vs SUB under one identical fault schedule (NEWS, 5 %)",
+        ["H %", "avail %", "failed", "crashes", "warm s"],
+        rows,
+    )
+    print("\n" + text)
+    benchmark.extra_info["table"] = text
+
+    first, second = (results[strategy] for strategy in STRATEGIES)
+    # Identical schedule for every strategy: same crashes, same outage.
+    assert first.proxy_crashes == second.proxy_crashes > 0
+    assert first.proxy_downtime_seconds == second.proxy_downtime_seconds
+    assert first.publisher_outage_seconds == second.publisher_outage_seconds
+    for result in results.values():
+        assert 0.0 <= result.availability <= 1.0
+        assert result.requests == workload.request_count
+        assert sum(result.hourly_failed) == result.failed_requests
+
+
+def test_empty_schedule_is_bit_identical(benchmark, bench_scale, bench_seed):
+    workload = trace_for("news", bench_scale, bench_seed)
+
+    def both():
+        plain = run_simulation(
+            workload,
+            SimulationConfig(strategy="gdstar", seed=bench_seed),
+        )
+        empty = run_simulation(
+            workload,
+            SimulationConfig(strategy="gdstar", seed=bench_seed, chaos=ChaosSpec()),
+        )
+        return plain, empty
+
+    plain, empty = run_once(benchmark, both)
+    a, b = dataclasses.asdict(plain), dataclasses.asdict(empty)
+    for key in a:
+        if key == "wall_seconds" or key in FAULT_FIELDS:
+            continue
+        assert a[key] == b[key], f"metric {key} changed by the empty faults layer"
+    assert empty.failed_requests == 0 and empty.proxy_crashes == 0

@@ -48,6 +48,11 @@ class AddressableHeap:
         """Remove ``key`` if present."""
         self._live.pop(key, None)
 
+    def clear(self) -> None:
+        """Drop every key (and all dead heap records) at once."""
+        self._heap.clear()
+        self._live.clear()
+
     def priority(self, key: Hashable) -> float:
         """Current priority of ``key``."""
         return self._live[key][0]

@@ -8,6 +8,7 @@
     repro-pubsub sweep-beta --scale 0.1
     repro-pubsub calibrate-beta --trace news --prefix 0.25
     repro-pubsub seed-sweep --strategy sg2 --baseline gdstar --seeds 5
+    repro-pubsub chaos --strategies gdstar,sub --proxy-mtbf 86400
     repro-pubsub trace-stats --trace alternative --scale 0.2 --validate
     repro-pubsub generate-trace --trace news --output trace.json
 """
@@ -25,6 +26,25 @@ from repro.experiments.spec import CellKey
 from repro.experiments.tables import table2
 from repro.system.config import PushingScheme
 from repro.workload.presets import make_trace
+
+
+def _reject_unknown_strategies(*names: str) -> Optional[int]:
+    """Print a helpful error and return an exit code on a bad name.
+
+    Subcommands whose strategy arguments are free-form (seed-sweep,
+    chaos) funnel through here so a typo produces one clear line, not a
+    KeyError traceback from deep inside the registry.
+    """
+    valid = sorted(strategy_names())
+    unknown = [name for name in names if name not in valid]
+    if not unknown:
+        return None
+    listed = ", ".join(unknown)
+    print(
+        f"unknown strategy: {listed}\nvalid strategies: {', '.join(valid)}",
+        file=sys.stderr,
+    )
+    return 2
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -146,6 +166,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_seed_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.sensitivity import compare_across_seeds
 
+    error = _reject_unknown_strategies(args.strategy, args.baseline)
+    if error is not None:
+        return error
     comparison = compare_across_seeds(
         args.strategy,
         baseline=args.baseline,
@@ -158,6 +181,71 @@ def _cmd_seed_sweep(args: argparse.Namespace) -> int:
     print(comparison.baseline.render())
     print(comparison.render())
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos import DEFAULT_CHAOS, run_chaos
+    from repro.faults.spec import ChaosSpec
+
+    strategies = tuple(
+        name.strip() for name in args.strategies.split(",") if name.strip()
+    )
+    if not strategies:
+        print("no strategies given", file=sys.stderr)
+        return 2
+    error = _reject_unknown_strategies(*strategies)
+    if error is not None:
+        return error
+    base = DEFAULT_CHAOS
+    try:
+        spec = _build_chaos_spec(args, base)
+    except ValueError as error:
+        print(f"invalid chaos parameter: {error}", file=sys.stderr)
+        return 2
+    outcome = run_chaos(
+        strategies=strategies,
+        trace=args.trace,
+        capacity=args.capacity,
+        scale=args.scale,
+        seed=args.seed,
+        spec=spec,
+    )
+    print(outcome.text)
+    return 0
+
+
+def _build_chaos_spec(args: argparse.Namespace, base) -> "ChaosSpec":
+    from repro.faults.spec import ChaosSpec
+
+    return ChaosSpec(
+        proxy_mtbf=args.proxy_mtbf if args.proxy_mtbf is not None else base.proxy_mtbf,
+        proxy_mttr=args.proxy_mttr if args.proxy_mttr is not None else base.proxy_mttr,
+        crash_fraction=(
+            args.crash_fraction
+            if args.crash_fraction is not None
+            else base.crash_fraction
+        ),
+        publisher_mtbf=(
+            args.publisher_mtbf
+            if args.publisher_mtbf is not None
+            else base.publisher_mtbf
+        ),
+        publisher_mttr=(
+            args.publisher_mttr
+            if args.publisher_mttr is not None
+            else base.publisher_mttr
+        ),
+        degraded_mtbf=(
+            args.degraded_mtbf if args.degraded_mtbf is not None else base.degraded_mtbf
+        ),
+        degraded_mttr=(
+            args.degraded_mttr if args.degraded_mttr is not None else base.degraded_mttr
+        ),
+        degraded_latency_multiplier=base.degraded_latency_multiplier,
+        degraded_loss_probability=(
+            args.loss if args.loss is not None else base.degraded_loss_probability
+        ),
+    )
 
 
 def _cmd_generate_trace(args: argparse.Namespace) -> int:
@@ -282,6 +370,53 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--seeds", type=int, default=5)
     _add_common(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_seed_sweep)
+
+    chaos_parser = sub.add_parser(
+        "chaos", help="compare strategy resilience under fault injection"
+    )
+    chaos_parser.add_argument(
+        "--strategies",
+        default="gdstar,sub,sg2,dc-lap",
+        help="comma-separated strategy names to compare",
+    )
+    chaos_parser.add_argument(
+        "--trace", choices=["news", "alternative"], default="news"
+    )
+    chaos_parser.add_argument("--capacity", type=float, default=0.05)
+    chaos_parser.add_argument(
+        "--proxy-mtbf", type=float, default=None,
+        help="mean seconds between proxy crashes (0 disables)",
+    )
+    chaos_parser.add_argument(
+        "--proxy-mttr", type=float, default=None,
+        help="mean proxy downtime in seconds",
+    )
+    chaos_parser.add_argument(
+        "--crash-fraction", type=float, default=None,
+        help="fraction of proxies eligible to crash",
+    )
+    chaos_parser.add_argument(
+        "--publisher-mtbf", type=float, default=None,
+        help="mean seconds between publisher outages (0 disables)",
+    )
+    chaos_parser.add_argument(
+        "--publisher-mttr", type=float, default=None,
+        help="mean publisher outage length in seconds",
+    )
+    chaos_parser.add_argument(
+        "--degraded-mtbf", type=float, default=None,
+        help="mean seconds between degraded-link episodes (0 disables)",
+    )
+    chaos_parser.add_argument(
+        "--degraded-mttr", type=float, default=None,
+        help="mean degraded-link episode length in seconds",
+    )
+    chaos_parser.add_argument(
+        "--loss", type=float, default=None,
+        help="per-transfer loss probability on degraded links",
+    )
+    _add_common(chaos_parser)
+    chaos_parser.set_defaults(func=_cmd_chaos)
 
     generate_parser = sub.add_parser(
         "generate-trace", help="generate a workload and write it as JSON"

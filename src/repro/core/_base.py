@@ -91,6 +91,11 @@ class HeapCache:
         self.heap.discard(page_id)
         return self.storage.remove(page_id)
 
+    def clear(self) -> None:
+        """Drop every entry at once (cold restart, not an eviction)."""
+        self.storage.clear()
+        self.heap.clear()
+
     # -- eviction disciplines ----------------------------------------------
 
     def evict_for(self, size: int) -> EvictionResult:

@@ -66,6 +66,11 @@ class _AccessOnlyPolicy(Policy):
     def _after_evictions(self, result) -> None:
         """Hook for aging mechanisms (GDS/LFU-DA inflation)."""
 
+    def drop_contents(self) -> None:
+        self._cache.clear()
+        if hasattr(self, "inflation"):
+            self.inflation = 0.0
+
     def _value(self, entry: CacheEntry, now: float) -> float:
         raise NotImplementedError
 

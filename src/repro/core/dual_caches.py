@@ -212,6 +212,14 @@ class _DualCacheBase(Policy):
         entry.record_access(now)
         return self._ac_admit(entry)
 
+    def drop_contents(self) -> None:
+        """Cold restart: both partitions empty out.  Partition *sizes*
+        persist (they are configuration in DC-FP; for the adaptive
+        variants the learnt split is the best available restart point)."""
+        self.pc.clear()
+        self.ac.clear()
+        self.inflation = 0.0
+
     # -- introspection -----------------------------------------------------------
 
     def contains(self, page_id: int) -> bool:
@@ -388,6 +396,12 @@ class DualCacheAdaptivePolicy(_DualCacheBase):
         return True
 
     # -- repartition: PC -> AC at access time ----------------------------------
+
+    def drop_contents(self) -> None:
+        super().drop_contents()
+        self._stamps.clear()
+        self._fresh_bytes = 0
+        self._ac_generation += 1
 
     def _promote(self, entry: CacheEntry, now: float) -> bool:
         """Relabel the accessed PC page's storage as AC (no replacement).

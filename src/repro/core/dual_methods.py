@@ -176,6 +176,12 @@ class DualMethodsPolicy(Policy):
         self._insert(entry)
         return RequestOutcome(hit=False, cached_after=True)
 
+    def drop_contents(self) -> None:
+        self._storage.clear()
+        self._push_heap.clear()
+        self._access_heap.clear()
+        self.inflation = 0.0
+
     # -- introspection -----------------------------------------------------------
 
     def contains(self, page_id: int) -> bool:

@@ -120,6 +120,13 @@ class GDStarPolicy(Policy):
             self.inflation, entry.access_count, entry.cost, entry.size, self.beta
         )
 
+    def drop_contents(self) -> None:
+        """Cold restart: contents, inflation and retained counts are
+        all in-memory state and do not survive."""
+        self._cache.clear()
+        self.inflation = 0.0
+        self._evicted_counts.clear()
+
     # -- introspection -----------------------------------------------------------
 
     def contains(self, page_id: int) -> bool:

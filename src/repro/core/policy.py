@@ -122,6 +122,24 @@ class Policy(ABC):
     def check_invariants(self) -> None:
         """Raise AssertionError if internal bookkeeping drifted."""
 
+    # -- fault model ---------------------------------------------------------
+
+    def drop_contents(self) -> None:
+        """Discard every cached page: the proxy process restarted cold.
+
+        Dropped pages are not evictions (no replacement decision was
+        made), so eviction counters are untouched.  Configuration
+        (capacity, cost, strategy parameters) survives a restart;
+        in-memory state does not.  Subclasses with state beyond the
+        standard ``_cache`` heap-cache override this.
+        """
+        cache = getattr(self, "_cache", None)
+        if cache is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} must implement drop_contents()"
+            )
+        cache.clear()
+
     # -- shared helpers -----------------------------------------------------
 
     def _record_request(

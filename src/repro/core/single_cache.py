@@ -171,6 +171,10 @@ class SingleCacheCombinedPolicy(Policy):
         cached = self._gated_place(entry)
         return RequestOutcome(hit=False, cached_after=cached)
 
+    def drop_contents(self) -> None:
+        self._cache.clear()
+        self.inflation = 0.0
+
     # -- introspection -----------------------------------------------------------
 
     def contains(self, page_id: int) -> bool:

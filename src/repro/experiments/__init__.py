@@ -36,6 +36,12 @@ from repro.experiments.figures import (
     beta_sweep,
 )
 from repro.experiments.tables import table2
+from repro.experiments.chaos import (
+    CHAOS_STRATEGIES,
+    DEFAULT_CHAOS,
+    ChaosResult,
+    run_chaos,
+)
 from repro.experiments.calibrate import (
     CalibrationResult,
     calibrate_all,
@@ -66,6 +72,10 @@ __all__ = [
     "figure7",
     "beta_sweep",
     "table2",
+    "CHAOS_STRATEGIES",
+    "DEFAULT_CHAOS",
+    "ChaosResult",
+    "run_chaos",
     "CalibrationResult",
     "calibrate_all",
     "calibrate_beta",

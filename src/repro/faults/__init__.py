@@ -1,0 +1,36 @@
+"""Fault injection and graceful degradation.
+
+The faults layer makes the reproduction's substrate unreliable on
+purpose: proxies crash and restart cold, the publisher goes dark, and
+links degrade — all on a deterministic schedule derived from dedicated
+RNG streams, so chaos runs are exactly as reproducible as healthy ones.
+
+Pipeline::
+
+    ChaosSpec --(generate_fault_schedule)--> FaultSchedule
+        --(FaultInjector, DES processes)--> crash/recover/outage hooks
+        --(RecoveryTracker)--> availability + time-to-warm metrics
+"""
+
+from repro.faults.generator import generate_fault_schedule
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import RecoveryReport, RecoveryTracker
+from repro.faults.schedule import (
+    EMPTY_SCHEDULE,
+    DegradedWindow,
+    FaultSchedule,
+    Window,
+)
+from repro.faults.spec import ChaosSpec
+
+__all__ = [
+    "ChaosSpec",
+    "DegradedWindow",
+    "EMPTY_SCHEDULE",
+    "FaultInjector",
+    "FaultSchedule",
+    "RecoveryReport",
+    "RecoveryTracker",
+    "Window",
+    "generate_fault_schedule",
+]

@@ -1,0 +1,73 @@
+"""Injecting a fault schedule into a running simulation.
+
+:class:`FaultInjector` turns the materialised windows of a
+:class:`~repro.faults.schedule.FaultSchedule` into generator processes
+on the existing :class:`~repro.sim.engine.Environment` agenda — the
+same mechanism the live broker examples use — so crash, recover and
+outage transitions interleave with publish/request replay in virtual
+time order.
+
+The injector is deliberately ignorant of caching: it only calls the
+narrow crash/recover/outage hooks its target exposes (the simulator),
+which keeps the fault layer reusable for other drivers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol
+
+from repro.faults.schedule import FaultSchedule, Window
+from repro.sim.engine import Environment
+from repro.sim.process import Process
+
+
+class FaultTarget(Protocol):
+    """What the injector needs from the system under test."""
+
+    def on_proxy_crash(self, server_id: int, now: float) -> None: ...
+
+    def on_proxy_recover(self, server_id: int, now: float) -> None: ...
+
+    def on_publisher_outage(self, now: float) -> None: ...
+
+    def on_publisher_recover(self, now: float) -> None: ...
+
+
+class FaultInjector:
+    """Drives a :class:`FaultTarget` through one fault schedule."""
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+
+    def install(self, env: Environment, target: FaultTarget) -> List[Process]:
+        """Launch one process per faulty component; returns them all."""
+        processes: List[Process] = []
+        by_server = {}
+        for server_id, window in self.schedule.crash_windows():
+            by_server.setdefault(server_id, []).append(window)
+        for server_id, windows in by_server.items():
+            processes.append(
+                env.process(self._proxy_script(env, target, server_id, windows))
+            )
+        outages = self.schedule.outage_windows()
+        if outages:
+            processes.append(env.process(self._publisher_script(env, target, outages)))
+        return processes
+
+    @staticmethod
+    def _proxy_script(
+        env: Environment, target: FaultTarget, server_id: int, windows: List[Window]
+    ):
+        for window in windows:
+            yield env.timeout(window.start - env.now)
+            target.on_proxy_crash(server_id, env.now)
+            yield env.timeout(window.end - env.now)
+            target.on_proxy_recover(server_id, env.now)
+
+    @staticmethod
+    def _publisher_script(env: Environment, target: FaultTarget, windows: List[Window]):
+        for window in windows:
+            yield env.timeout(window.start - env.now)
+            target.on_publisher_outage(env.now)
+            yield env.timeout(window.end - env.now)
+            target.on_publisher_recover(env.now)

@@ -1,0 +1,119 @@
+"""Post-crash recovery instrumentation (time-to-warm).
+
+The point of push-time placement under chaos: a proxy that restarts
+cold can be re-warmed by pushes *before* users ask.  To measure that,
+:class:`RecoveryTracker` watches every proxy after each recovery and
+produces
+
+* a **recovery curve** — served requests and hits bucketed by time
+  since recovery, aggregated over all crashes, and
+* a **time-to-warm** sample per crash — how long until a rolling
+  window of the proxy's requests hits ``warm_threshold`` of its
+  pre-crash hit ratio.
+
+Both feed :class:`~repro.system.metrics.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+
+@dataclass
+class _Warming:
+    """One proxy's state between a recovery and reaching warmth."""
+
+    recovered_at: float
+    pre_hit_ratio: float
+    window: Deque[bool]
+
+
+@dataclass
+class RecoveryReport:
+    """Aggregated recovery data of one run."""
+
+    bin_seconds: float
+    curve_requests: List[int] = field(default_factory=list)
+    curve_hits: List[int] = field(default_factory=list)
+    time_to_warm: List[float] = field(default_factory=list)
+    #: Recoveries whose cache never reached the warm threshold before
+    #: the run (or the next crash) ended.
+    unwarmed: int = 0
+
+
+class RecoveryTracker:
+    """Aggregates per-proxy recovery curves and time-to-warm samples."""
+
+    def __init__(
+        self,
+        warm_request_window: int = 50,
+        warm_threshold: float = 0.8,
+        bin_seconds: float = 600.0,
+        bin_count: int = 12,
+    ) -> None:
+        if warm_request_window < 1:
+            raise ValueError("warm_request_window must be >= 1")
+        if bin_count < 1 or bin_seconds <= 0:
+            raise ValueError("need bin_count >= 1 and bin_seconds > 0")
+        self.warm_request_window = int(warm_request_window)
+        self.warm_threshold = float(warm_threshold)
+        self.bin_seconds = float(bin_seconds)
+        self.bin_count = int(bin_count)
+        self._pre_ratio: Dict[int, float] = {}
+        self._warming: Dict[int, _Warming] = {}
+        self._report = RecoveryReport(
+            bin_seconds=self.bin_seconds,
+            curve_requests=[0] * self.bin_count,
+            curve_hits=[0] * self.bin_count,
+        )
+
+    # -- lifecycle hooks (called by the simulator) --------------------------
+
+    def on_crash(self, server_id: int, now: float, pre_hit_ratio: float) -> None:
+        """A proxy just crashed; remember how warm it was."""
+        if self._warming.pop(server_id, None) is not None:
+            # Crashed again before re-warming from the previous crash.
+            self._report.unwarmed += 1
+        self._pre_ratio[server_id] = float(pre_hit_ratio)
+
+    def on_recover(self, server_id: int, now: float) -> None:
+        self._warming[server_id] = _Warming(
+            recovered_at=now,
+            pre_hit_ratio=self._pre_ratio.get(server_id, 0.0),
+            window=deque(maxlen=self.warm_request_window),
+        )
+
+    def on_request(self, server_id: int, hit: bool, now: float) -> None:
+        """A request was *served* at ``server_id`` (hits and misses)."""
+        state = self._warming.get(server_id)
+        if state is None:
+            return
+        since = now - state.recovered_at
+        bin_index = int(since // self.bin_seconds)
+        if 0 <= bin_index < self.bin_count:
+            self._report.curve_requests[bin_index] += 1
+            if hit:
+                self._report.curve_hits[bin_index] += 1
+        state.window.append(hit)
+        if len(state.window) < self.warm_request_window:
+            return
+        ratio = sum(state.window) / len(state.window)
+        if ratio >= self.warm_threshold * state.pre_hit_ratio:
+            self._report.time_to_warm.append(since)
+            del self._warming[server_id]
+
+    # -- results -----------------------------------------------------------
+
+    def report(self) -> RecoveryReport:
+        """Finalise: proxies still warming count as unwarmed."""
+        self._report.unwarmed += len(self._warming)
+        self._warming.clear()
+        return self._report
+
+    def mean_time_to_warm(self) -> Optional[float]:
+        samples = self._report.time_to_warm
+        if not samples:
+            return None
+        return sum(samples) / len(samples)

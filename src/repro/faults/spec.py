@@ -1,0 +1,124 @@
+"""Chaos configuration: how unreliable the substrate is.
+
+:class:`ChaosSpec` bundles the knobs of the fault-injection layer.  It
+is intentionally a plain frozen dataclass (like
+:class:`~repro.system.config.SimulationConfig`) so experiment grids can
+sweep it, and every field has a conservative default: a default-built
+spec describes an always-healthy network and produces an empty
+:class:`~repro.faults.schedule.FaultSchedule`.
+
+Failure processes are memoryless: times between failures and repair
+durations are exponentially distributed around the configured means
+(MTBF / MTTR), the standard availability model for independent
+component failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Parameters of the fault-injection layer for one run."""
+
+    #: Mean seconds between crashes of one proxy (0 disables crashes).
+    proxy_mtbf: float = 0.0
+    #: Mean downtime of a crashed proxy (seconds).  A recovered proxy
+    #: restarts *cold*: its cache contents are lost.
+    proxy_mttr: float = 3600.0
+    #: Fraction of proxies subject to crashing (sampled per run).
+    crash_fraction: float = 1.0
+    #: Mean seconds between publisher (origin) outages (0 disables).
+    publisher_mtbf: float = 0.0
+    #: Mean duration of a publisher outage (seconds).
+    publisher_mttr: float = 900.0
+    #: Mean seconds between degraded-link episodes per proxy (0 disables).
+    degraded_mtbf: float = 0.0
+    #: Mean duration of a degraded-link episode (seconds).
+    degraded_mttr: float = 1800.0
+    #: Latency multiplier applied to origin fetches over a degraded link.
+    degraded_latency_multiplier: float = 4.0
+    #: Per-transfer loss probability on a degraded link; every loss
+    #: costs one extra round trip (capped retransmissions).
+    degraded_loss_probability: float = 0.0
+
+    # -- graceful degradation ------------------------------------------------
+
+    #: Maximum origin-fetch retries while the publisher is down.
+    retry_limit: int = 4
+    #: First retry backoff (seconds); doubles per attempt.
+    retry_base: float = 0.5
+    #: Cap on a single backoff step (seconds).
+    retry_cap: float = 8.0
+    #: Modelled cost of a request to a crashed peer proxy timing out
+    #: before the failover chain moves on (cooperative runs only).
+    peer_timeout: float = 0.25
+
+    # -- recovery (time-to-warm) instrumentation ---------------------------
+
+    #: Rolling request window used to decide a restarted cache is warm.
+    warm_request_window: int = 50
+    #: Warm when the rolling hit ratio reaches this fraction of the
+    #: proxy's pre-crash hit ratio.
+    warm_threshold: float = 0.8
+    #: Width of one post-recovery hit-ratio bin (seconds).
+    recovery_bin_seconds: float = 600.0
+    #: Number of post-recovery bins tracked per crash.
+    recovery_bin_count: int = 12
+
+    @property
+    def injects_faults(self) -> bool:
+        """Whether this spec can generate any fault window at all."""
+        return (
+            self.proxy_mtbf > 0.0
+            or self.publisher_mtbf > 0.0
+            or self.degraded_mtbf > 0.0
+        )
+
+    def __post_init__(self) -> None:
+        for name in (
+            "proxy_mtbf",
+            "proxy_mttr",
+            "publisher_mtbf",
+            "publisher_mttr",
+            "degraded_mtbf",
+            "degraded_mttr",
+            "retry_base",
+            "retry_cap",
+            "peer_timeout",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if not 0.0 <= self.crash_fraction <= 1.0:
+            raise ValueError(
+                f"crash_fraction must be in [0, 1], got {self.crash_fraction}"
+            )
+        if self.degraded_latency_multiplier < 1.0:
+            raise ValueError(
+                "degraded_latency_multiplier must be >= 1, got "
+                f"{self.degraded_latency_multiplier}"
+            )
+        if not 0.0 <= self.degraded_loss_probability < 1.0:
+            raise ValueError(
+                "degraded_loss_probability must be in [0, 1), got "
+                f"{self.degraded_loss_probability}"
+            )
+        if self.retry_limit < 0:
+            raise ValueError(f"retry_limit must be >= 0, got {self.retry_limit}")
+        if self.warm_request_window < 1:
+            raise ValueError(
+                f"warm_request_window must be >= 1, got {self.warm_request_window}"
+            )
+        if not 0.0 < self.warm_threshold <= 1.0:
+            raise ValueError(
+                f"warm_threshold must be in (0, 1], got {self.warm_threshold}"
+            )
+        if self.recovery_bin_seconds <= 0:
+            raise ValueError(
+                f"recovery_bin_seconds must be > 0, got {self.recovery_bin_seconds}"
+            )
+        if self.recovery_bin_count < 1:
+            raise ValueError(
+                f"recovery_bin_count must be >= 1, got {self.recovery_bin_count}"
+            )

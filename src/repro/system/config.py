@@ -9,7 +9,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
+
+from repro.faults.spec import ChaosSpec
 
 
 class PushingScheme(enum.Enum):
@@ -60,6 +62,11 @@ class SimulationConfig:
     #: Additional latency per network hop on a miss (seconds); a miss
     #: costs ``hit_latency + per_hop_latency * fetch_cost(proxy)``.
     per_hop_latency: float = 0.04
+    #: Fault-injection parameters.  ``None`` (the default) disables the
+    #: faults layer entirely; a :class:`~repro.faults.spec.ChaosSpec`
+    #: whose rates are all zero yields an empty schedule, whose metrics
+    #: are bit-identical to a run without the layer.
+    chaos: Optional[ChaosSpec] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.capacity_fraction <= 1.0:

@@ -12,16 +12,24 @@ strategy on local information — so the comparison isolates how much
 peering adds on top of each content distribution strategy.  Peer
 fetches are counted separately (``peer_fetch_pages``) and priced at the
 inter-proxy distance in the response-time model.
+
+Under the fault layer a peer request can hit a *crashed* peer: the
+requester pays ``peer_timeout`` for the dead probe and fails over down
+the chain — next-nearest live holder, then the origin (with the origin
+retry/backoff rules) — so cooperation degrades gracefully instead of
+hanging on dead neighbours.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.faults.schedule import FaultSchedule
 from repro.network.topology import Topology
 from repro.pubsub.matching import TraceMatchCounts
 from repro.system.config import SimulationConfig
 from repro.system.metrics import SimulationResult
+from repro.system.proxy import ProxyServer
 from repro.system.simulator import Simulation
 from repro.workload.trace import Workload
 
@@ -36,10 +44,13 @@ class CooperativeSimulation(Simulation):
         match_table: Optional[TraceMatchCounts] = None,
         topology: Optional[Topology] = None,
         neighbor_count: int = 3,
+        fault_schedule: Optional[FaultSchedule] = None,
     ) -> None:
         if neighbor_count < 0:
             raise ValueError(f"neighbor_count must be >= 0, got {neighbor_count}")
-        super().__init__(workload, config, match_table, topology)
+        super().__init__(
+            workload, config, match_table, topology, fault_schedule=fault_schedule
+        )
         self.neighbor_count = int(neighbor_count)
         self._neighbors = self._nearest_neighbors()
         self.peer_fetch_pages = 0
@@ -84,6 +95,11 @@ class CooperativeSimulation(Simulation):
         return None
 
     def _handle_request(self, server_id: int, page_id: int, now: float) -> None:
+        if self._faults_on:
+            # The base class routes through the degraded path, which
+            # resolves misses via our ``_fetch_on_miss`` failover chain.
+            super()._handle_request(server_id, page_id, now)
+            return
         version = self.publisher.current_version(page_id)
         if version is None:
             raise RuntimeError(
@@ -98,18 +114,65 @@ class CooperativeSimulation(Simulation):
             peer = self._peer_with_version(server_id, page_id, version)
             if peer is not None:
                 _peer_index, hops = peer
-                self.peer_fetch_pages += 1
-                self.peer_fetch_bytes += size
-                hour = int(now // 3600.0)
-                self.peer_fetch_pages_by_hour[hour] = (
-                    self.peer_fetch_pages_by_hour.get(hour, 0) + 1
-                )
+                self._record_peer_fetch(size, now)
                 latency += self.config.per_hop_latency * max(1.0, hops)
             else:
                 self.publisher.record_fetch(page_id, now)
                 latency += self.config.per_hop_latency * proxy.policy.cost
         self._total_response_time += latency
         self._maybe_check_invariants()
+
+    def _record_peer_fetch(self, size: int, now: float) -> None:
+        self.peer_fetch_pages += 1
+        self.peer_fetch_bytes += size
+        hour = int(now // 3600.0)
+        self.peer_fetch_pages_by_hour[hour] = (
+            self.peer_fetch_pages_by_hour.get(hour, 0) + 1
+        )
+
+    def _fetch_on_miss(
+        self,
+        proxy: ProxyServer,
+        server_id: int,
+        page_id: int,
+        version: int,
+        size: int,
+        now: float,
+    ) -> Optional[Tuple[float, bool]]:
+        """The failover chain: nearest live holder, next, ..., origin.
+
+        Peers strictly closer than the origin are probed in distance
+        order.  A crashed peer costs ``peer_timeout`` seconds before the
+        chain moves on; the first live peer holding the current version
+        serves the fetch.  When the chain is exhausted the origin is the
+        terminal fallback, with its usual outage retry rules — so the
+        worst case is dead-peer timeouts plus origin backoff, and the
+        request only *fails* if the origin retries are also exhausted.
+        """
+        waited = 0.0
+        timed_out = 0
+        origin_cost = proxy.policy.cost
+        for peer_index, hops in self._neighbors[server_id]:
+            if max(1.0, hops) >= origin_cost:
+                break  # neighbors are distance-sorted: no closer peer exists
+            peer = self.proxies[peer_index]
+            if not peer.up:
+                # Dead probe: pay the timeout, fail over to the next hop.
+                waited += self.chaos.peer_timeout
+                timed_out += 1
+                continue
+            policy = peer.policy
+            if policy.contains(page_id) and policy.cached_version(page_id) == version:
+                self._record_peer_fetch(size, now)
+                latency, degraded = self._degrade_transfer(
+                    self.config.per_hop_latency * max(1.0, hops), server_id, now
+                )
+                return waited + latency, degraded or timed_out > 0
+        resolution = self._origin_resolution(proxy, server_id, page_id, now)
+        if resolution is None:
+            return None
+        extra_latency, degraded = resolution
+        return waited + extra_latency, degraded or timed_out > 0
 
     def _collect(self, wall_seconds: float) -> SimulationResult:
         result = super()._collect(wall_seconds)
@@ -124,6 +187,7 @@ def run_cooperative_simulation(
     neighbor_count: int = 3,
     match_table: Optional[TraceMatchCounts] = None,
     topology: Optional[Topology] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
 ) -> SimulationResult:
     """Convenience wrapper mirroring :func:`run_simulation`."""
     return CooperativeSimulation(
@@ -132,4 +196,5 @@ def run_cooperative_simulation(
         match_table=match_table,
         topology=topology,
         neighbor_count=neighbor_count,
+        fault_schedule=fault_schedule,
     ).run()

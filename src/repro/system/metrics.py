@@ -11,7 +11,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.cache.stats import CacheStats
 
@@ -61,6 +61,36 @@ class SimulationResult:
     peer_fetch_pages: int = 0
     peer_fetch_bytes: int = 0
 
+    # -- fault-injection metrics (all zero on a healthy run) ---------------
+
+    #: Requests that could not be served at all (origin retries
+    #: exhausted during a publisher outage).
+    failed_requests: int = 0
+    #: Requests served, but not at full service level: proxy-down
+    #: failover to the origin, backed-off retries, dead-peer timeouts,
+    #: or a degraded link.
+    degraded_requests: int = 0
+    hourly_failed: List[int] = field(default_factory=list)
+    hourly_degraded: List[int] = field(default_factory=list)
+    #: Proxy crash events and their cumulative downtime.
+    proxy_crashes: int = 0
+    proxy_downtime_seconds: float = 0.0
+    #: Cumulative origin unreachability.
+    publisher_outage_seconds: float = 0.0
+    #: Push placements skipped because the target proxy or the origin
+    #: was down at publish time.
+    pushes_suppressed: int = 0
+    #: Per-crash seconds from recovery until the cache re-warmed; one
+    #: sample per recovery that reached the warm threshold.
+    time_to_warm_seconds: List[float] = field(default_factory=list)
+    #: Recoveries that never reached the warm threshold again.
+    unwarmed_recoveries: int = 0
+    #: Post-recovery served-request/hit counts bucketed by time since
+    #: recovery (the hit-ratio recovery curve), aggregated over crashes.
+    recovery_curve_requests: List[int] = field(default_factory=list)
+    recovery_curve_hits: List[int] = field(default_factory=list)
+    recovery_bin_seconds: float = 0.0
+
     @property
     def hit_ratio(self) -> float:
         """Global H (eq. 8), in [0, 1]."""
@@ -90,6 +120,46 @@ class SimulationResult:
         """Total publisher->proxy bytes (push + fetch)."""
         return self.push_bytes + self.fetch_bytes
 
+    @property
+    def availability(self) -> float:
+        """Fraction of requests that were served at all, in [0, 1]."""
+        if self.requests == 0:
+            return 1.0
+        return 1.0 - self.failed_requests / self.requests
+
+    @property
+    def mean_time_to_warm(self) -> Optional[float]:
+        """Mean seconds from proxy recovery to a re-warmed cache.
+
+        ``None`` when no recovery reached the warm threshold (healthy
+        runs, or runs whose caches never warmed back up).
+        """
+        if not self.time_to_warm_seconds:
+            return None
+        return sum(self.time_to_warm_seconds) / len(self.time_to_warm_seconds)
+
+    def hourly_availability(self) -> List[float]:
+        """Per-hour availability; hours without requests count as 1.0."""
+        if not self.hourly_failed:
+            return [1.0] * len(self.hourly_requests)
+        out = []
+        for requested, failed in zip(self.hourly_requests, self.hourly_failed):
+            out.append(1.0 - failed / requested if requested else 1.0)
+        return out
+
+    def recovery_hit_ratio_curve(self) -> List[float]:
+        """Hit ratio per post-recovery bin (the time-to-warm curve).
+
+        Bins that saw no served request yield 0.0; bin width is
+        ``recovery_bin_seconds``.
+        """
+        return [
+            hit / requested if requested else 0.0
+            for requested, hit in zip(
+                self.recovery_curve_requests, self.recovery_curve_hits
+            )
+        ]
+
     def hourly_hit_ratio(self) -> List[float]:
         """H per hour (Fig. 6); hours without requests yield 0.0."""
         ratios = []
@@ -112,7 +182,7 @@ class SimulationResult:
 
     def summary(self) -> str:
         """One-line human-readable summary."""
-        return (
+        text = (
             f"{self.strategy:>7s} | {self.trace_label:<11s} "
             f"cap={self.capacity_fraction:.0%} SQ={self.subscription_quality:.2f} "
             f"{self.pushing_scheme:<14s} | H={self.hit_ratio:6.2%} "
@@ -120,3 +190,12 @@ class SimulationResult:
             f"traffic={self.traffic_pages} pages "
             f"({self.push_transfers} pushed, {self.fetch_pages} fetched)"
         )
+        if self.proxy_crashes or self.failed_requests or self.degraded_requests:
+            warm = self.mean_time_to_warm
+            warm_text = f"{warm:.0f}s" if warm is not None else "-"
+            text += (
+                f" | avail={self.availability:.2%} "
+                f"failed={self.failed_requests} degraded={self.degraded_requests} "
+                f"crashes={self.proxy_crashes} warm={warm_text}"
+            )
+        return text

@@ -4,9 +4,16 @@ A proxy aggregates its local users' subscriptions, runs the placing and
 caching modules (one :class:`~repro.core.policy.Policy` instance) over
 its limited storage, and serves its users' requests — Fig. 2's
 "A server" box.
+
+Under the fault-injection layer a proxy can crash: it goes offline,
+loses its in-memory cache, and later restarts **cold**.  The ``up``
+flag is toggled by the :class:`~repro.faults.injector.FaultInjector`
+via the simulator; a down proxy serves no requests and rejects pushes.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from repro.core.policy import Policy, PushOutcome, RequestOutcome
 
@@ -17,11 +24,40 @@ class ProxyServer:
     def __init__(self, server_id: int, policy: Policy) -> None:
         self.server_id = int(server_id)
         self.policy = policy
+        #: Whether the proxy process is currently running.
+        self.up = True
+        #: Number of crashes suffered so far.
+        self.crash_count = 0
+        #: Accumulated downtime (seconds) over completed outages.
+        self.downtime_seconds = 0.0
+        self._down_since: Optional[float] = None
 
     @property
     def stats(self):
         """The underlying policy's counters."""
         return self.policy.stats
+
+    # -- fault model -------------------------------------------------------
+
+    def crash(self, now: float) -> None:
+        """The proxy process dies: offline, cache contents gone."""
+        if not self.up:
+            raise RuntimeError(f"proxy {self.server_id} is already down")
+        self.up = False
+        self.crash_count += 1
+        self._down_since = now
+        self.policy.drop_contents()
+
+    def recover(self, now: float) -> None:
+        """The proxy restarts — cold: storage was cleared at crash time."""
+        if self.up:
+            raise RuntimeError(f"proxy {self.server_id} is already up")
+        self.up = True
+        if self._down_since is not None:
+            self.downtime_seconds += now - self._down_since
+            self._down_since = None
+
+    # -- request/publish handling ------------------------------------------
 
     def handle_publish(
         self, page_id: int, version: int, size: int, match_count: int, now: float
@@ -39,4 +75,5 @@ class ProxyServer:
         self.policy.check_invariants()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"ProxyServer(id={self.server_id}, policy={self.policy.name})"
+        state = "up" if self.up else "down"
+        return f"ProxyServer(id={self.server_id}, policy={self.policy.name}, {state})"

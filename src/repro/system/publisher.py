@@ -22,6 +22,15 @@ class Publisher:
             page.page_id: page.size for page in workload.pages
         }
         self._versions: Dict[int, int] = {}
+        #: Whether the origin is currently reachable.  Toggled by the
+        #: fault injector; an outage means proxies can neither fetch
+        #: from nor be pushed to by the publisher (the authoritative
+        #: copy itself survives — new versions accumulate and flow once
+        #: the origin is reachable again).
+        self.up = True
+        #: Accumulated unreachable time (seconds) over completed outages.
+        self.outage_seconds = 0.0
+        self._down_since: Optional[float] = None
         # Outbound traffic, bucketed by hour.
         self.push_pages_by_hour: Dict[int, int] = {}
         self.push_bytes_by_hour: Dict[int, int] = {}
@@ -44,6 +53,24 @@ class Publisher:
     def current_version(self, page_id: int) -> Optional[int]:
         """Latest version of ``page_id``, or None if never published."""
         return self._versions.get(page_id)
+
+    # -- fault model -------------------------------------------------------
+
+    def go_dark(self, now: float) -> None:
+        """The origin becomes unreachable."""
+        if not self.up:
+            raise RuntimeError("publisher is already down")
+        self.up = False
+        self._down_since = now
+
+    def come_back(self, now: float) -> None:
+        """The origin is reachable again."""
+        if self.up:
+            raise RuntimeError("publisher is already up")
+        self.up = True
+        if self._down_since is not None:
+            self.outage_seconds += now - self._down_since
+            self._down_since = None
 
     # -- traffic accounting ------------------------------------------------
 

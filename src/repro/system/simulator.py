@@ -15,14 +15,38 @@ Traffic accounting (§5.6) happens here, not in the policies:
   content (the meta-information handshake is control traffic, ignored
   in the page/byte counts as in the paper);
 * every cache miss transfers the page from the publisher once.
+
+With a :class:`~repro.faults.spec.ChaosSpec` configured, the run also
+carries a fault schedule whose crash/outage windows are injected as DES
+processes, and the system degrades gracefully instead of assuming
+success:
+
+* a crashed proxy loses its cache (cold restart) and rejects pushes;
+  its users' requests fail over **directly to the origin** at origin
+  cost;
+* origin fetches during a publisher outage retry with capped
+  exponential backoff; exhausted retries are counted as **failed**
+  requests (nothing is placed in the cache — the bytes never arrived);
+* degraded links multiply fetch latency and may lose transfers, each
+  loss costing one extra round trip.
+
+Requests the policies never see (failover and failures) are tallied
+separately and merged into the request totals at collection time, so
+hit ratio, availability and the hourly series all share one
+denominator.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.registry import make_policy_lenient
+from repro.faults.generator import generate_fault_schedule
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import RecoveryTracker
+from repro.faults.schedule import FaultSchedule
+from repro.faults.spec import ChaosSpec
 from repro.network.topology import Topology, build_topology
 from repro.pubsub.matching import TraceMatchCounts
 from repro.sim.engine import Environment, NORMAL, URGENT
@@ -34,6 +58,9 @@ from repro.system.publisher import Publisher
 from repro.workload.subscriptions import build_match_counts
 from repro.workload.trace import Workload
 
+#: Safety cap on modelled retransmissions over one lossy transfer.
+_MAX_RETRANSMITS = 8
+
 
 class Simulation:
     """One strategy, one trace, one configuration."""
@@ -44,10 +71,12 @@ class Simulation:
         config: SimulationConfig,
         match_table: Optional[TraceMatchCounts] = None,
         topology: Optional[Topology] = None,
+        fault_schedule: Optional[FaultSchedule] = None,
     ) -> None:
         self.workload = workload
         self.config = config
         streams = RandomStreams(config.seed)
+        self._streams = streams
 
         if match_table is None:
             table = build_match_counts(
@@ -91,13 +120,68 @@ class Simulation:
         self._events_processed = 0
         self._total_response_time = 0.0
 
+        # -- fault layer ---------------------------------------------------
+        self.chaos: Optional[ChaosSpec] = config.chaos
+        self.fault_schedule = fault_schedule
+        if self.fault_schedule is None and config.chaos is not None:
+            self.fault_schedule = generate_fault_schedule(
+                config.chaos,
+                streams,
+                horizon=workload.config.horizon,
+                server_count=workload.config.server_count,
+            )
+        if self.fault_schedule is not None and self.chaos is None:
+            # Hand-built schedule: use default degradation parameters.
+            self.chaos = ChaosSpec()
+        self._faults_on = self.fault_schedule is not None
+        self._recovery: Optional[RecoveryTracker] = None
+        if self._faults_on:
+            self._recovery = RecoveryTracker(
+                warm_request_window=self.chaos.warm_request_window,
+                warm_threshold=self.chaos.warm_threshold,
+                bin_seconds=self.chaos.recovery_bin_seconds,
+                bin_count=self.chaos.recovery_bin_count,
+            )
+        self._failed_requests = 0
+        self._degraded_requests = 0
+        self._failed_by_hour: Dict[int, int] = {}
+        self._degraded_by_hour: Dict[int, int] = {}
+        #: Requests that never reached a policy (down-proxy failover and
+        #: failures) — merged into the request totals at collection.
+        self._unserved_by_hour: Dict[int, int] = {}
+        self._pushes_suppressed = 0
+
+    # -- fault hooks (called by the FaultInjector) --------------------------
+
+    def on_proxy_crash(self, server_id: int, now: float) -> None:
+        proxy = self.proxies[server_id]
+        self._recovery.on_crash(server_id, now, proxy.stats.hit_ratio)
+        proxy.crash(now)
+
+    def on_proxy_recover(self, server_id: int, now: float) -> None:
+        self.proxies[server_id].recover(now)
+        self._recovery.on_recover(server_id, now)
+
+    def on_publisher_outage(self, now: float) -> None:
+        self.publisher.go_dark(now)
+
+    def on_publisher_recover(self, now: float) -> None:
+        self.publisher.come_back(now)
+
     # -- event handlers ---------------------------------------------------
 
     def _handle_publish(self, page_id: int, version: int, now: float) -> None:
         self.publisher.publish(page_id, version)
         size = self.publisher.page_size(page_id)
+        origin_down = self._faults_on and self.fault_schedule.publisher_down(now)
         for server_id, match_count in self._matches_by_page.get(page_id, ()):
             proxy = self.proxies[server_id]
+            if origin_down or not proxy.up:
+                # No distribution path: the origin cannot send, or the
+                # proxy cannot receive.  The page stays authoritative at
+                # the origin and is fetched on demand later.
+                self._pushes_suppressed += 1
+                continue
             outcome = proxy.handle_publish(page_id, version, size, match_count, now)
             transferred = outcome.stored or (
                 self.config.pushing is PushingScheme.ALWAYS
@@ -117,13 +201,170 @@ class Simulation:
         size = self.publisher.page_size(page_id)
         match_count = self.match_table.count_for(page_id, server_id)
         proxy = self.proxies[server_id]
-        outcome = proxy.handle_request(page_id, version, size, match_count, now)
-        latency = self.config.hit_latency
-        if not outcome.hit:
-            self.publisher.record_fetch(page_id, now)
-            latency += self.config.per_hop_latency * proxy.policy.cost
-        self._total_response_time += latency
+        if self._faults_on:
+            self._handle_request_faulty(
+                proxy, server_id, page_id, version, size, match_count, now
+            )
+        else:
+            outcome = proxy.handle_request(page_id, version, size, match_count, now)
+            latency = self.config.hit_latency
+            if not outcome.hit:
+                self.publisher.record_fetch(page_id, now)
+                latency += self.config.per_hop_latency * proxy.policy.cost
+            self._total_response_time += latency
         self._maybe_check_invariants()
+
+    # -- degraded request handling -----------------------------------------
+
+    def _handle_request_faulty(
+        self,
+        proxy: ProxyServer,
+        server_id: int,
+        page_id: int,
+        version: int,
+        size: int,
+        match_count: int,
+        now: float,
+    ) -> None:
+        if not proxy.up:
+            # The proxy is offline; its cache cannot answer.  The client
+            # fails over directly to the origin at origin cost.
+            self._note_unserved(now)
+            resolution = self._origin_resolution(proxy, server_id, page_id, now)
+            if resolution is None:
+                self._note_failed(now)
+                return
+            extra_latency, _degraded = resolution
+            self._note_degraded(now)
+            self._total_response_time += self.config.hit_latency + extra_latency
+            return
+
+        if self._probe_hit(proxy, page_id, version):
+            proxy.handle_request(page_id, version, size, match_count, now)
+            self._recovery.on_request(server_id, hit=True, now=now)
+            self._total_response_time += self.config.hit_latency
+            return
+
+        # Local miss: content must come from somewhere off-proxy.
+        resolution = self._fetch_on_miss(proxy, server_id, page_id, version, size, now)
+        if resolution is None:
+            # Retries exhausted: the request fails; nothing was placed
+            # (the bytes never arrived at the proxy).
+            self._note_unserved(now)
+            self._note_failed(now)
+            return
+        extra_latency, degraded = resolution
+        proxy.handle_request(page_id, version, size, match_count, now)
+        self._recovery.on_request(server_id, hit=False, now=now)
+        if degraded:
+            self._note_degraded(now)
+        self._total_response_time += self.config.hit_latency + extra_latency
+
+    def _probe_hit(self, proxy: ProxyServer, page_id: int, version: int) -> bool:
+        """Whether a request would be a fresh hit — without side effects.
+
+        Every policy reports a hit exactly when the current version is
+        resident, so this mirrors ``on_request`` hit detection.
+        """
+        policy = proxy.policy
+        return policy.contains(page_id) and policy.cached_version(page_id) == version
+
+    def _fetch_on_miss(
+        self,
+        proxy: ProxyServer,
+        server_id: int,
+        page_id: int,
+        version: int,
+        size: int,
+        now: float,
+    ) -> Optional[Tuple[float, bool]]:
+        """Resolve a local miss off-proxy.
+
+        Returns ``(latency beyond hit_latency, degraded?)`` on success,
+        ``None`` when the content could not be obtained.  The base
+        simulation knows only the origin; the cooperative subclass
+        overrides this with a peer failover chain.
+        """
+        return self._origin_resolution(proxy, server_id, page_id, now)
+
+    def _origin_resolution(
+        self, proxy: ProxyServer, server_id: int, page_id: int, now: float
+    ) -> Optional[Tuple[float, bool]]:
+        """Fetch from the origin, retrying across an outage if needed."""
+        ok, waited = self._origin_wait(now)
+        if not ok:
+            return None
+        self.publisher.record_fetch(page_id, now)
+        fetch_latency, degraded = self._origin_fetch_latency(proxy, server_id, now)
+        return waited + fetch_latency, degraded or waited > 0.0
+
+    def _origin_wait(self, now: float) -> Tuple[bool, float]:
+        """Backoff until the origin answers: (reachable?, seconds waited).
+
+        The first attempt happens at ``now``; each retry doubles the
+        backoff up to ``retry_cap``, at most ``retry_limit`` retries.
+        Whether a retry succeeds is a pure schedule lookup — the outage
+        windows are materialised up front.
+        """
+        if not self.fault_schedule.publisher_down(now):
+            return True, 0.0
+        spec = self.chaos
+        waited = 0.0
+        at = now
+        for attempt in range(spec.retry_limit):
+            backoff = min(spec.retry_base * (2.0 ** attempt), spec.retry_cap)
+            at += backoff
+            waited += backoff
+            if not self.fault_schedule.publisher_down(at):
+                return True, waited
+        return False, waited
+
+    def _origin_fetch_latency(
+        self, proxy: ProxyServer, server_id: int, now: float
+    ) -> Tuple[float, bool]:
+        """Latency of one origin transfer, including link degradation."""
+        latency = self.config.per_hop_latency * proxy.policy.cost
+        return self._degrade_transfer(latency, server_id, now)
+
+    def _degrade_transfer(
+        self, latency: float, server_id: int, now: float
+    ) -> Tuple[float, bool]:
+        """Apply the proxy's link degradation (if any) to one transfer."""
+        window = self.fault_schedule.degradation(server_id, now)
+        if window is None:
+            return latency, False
+        degraded = False
+        if window.latency_multiplier > 1.0:
+            latency *= window.latency_multiplier
+            degraded = True
+        if window.loss_probability > 0.0:
+            rng = self._streams.stream("faults.loss")
+            retransmits = 0
+            while (
+                retransmits < _MAX_RETRANSMITS
+                and float(rng.random()) < window.loss_probability
+            ):
+                retransmits += 1
+            if retransmits:
+                latency *= 1 + retransmits
+                degraded = True
+        return latency, degraded
+
+    # -- availability accounting -------------------------------------------
+
+    def _note_unserved(self, now: float) -> None:
+        hour = int(now // 3600.0)
+        self._unserved_by_hour[hour] = self._unserved_by_hour.get(hour, 0) + 1
+
+    def _note_failed(self, now: float) -> None:
+        self._failed_requests += 1
+        hour = int(now // 3600.0)
+        self._failed_by_hour[hour] = self._failed_by_hour.get(hour, 0) + 1
+
+    def _note_degraded(self, now: float) -> None:
+        self._degraded_requests += 1
+        hour = int(now // 3600.0)
+        self._degraded_by_hour[hour] = self._degraded_by_hour.get(hour, 0) + 1
 
     def _maybe_check_invariants(self) -> None:
         interval = self.config.invariant_check_interval
@@ -154,6 +395,8 @@ class Simulation:
                 ),
                 priority=NORMAL,
             )
+        if self._faults_on:
+            FaultInjector(self.fault_schedule).install(env, self)
         env.run()
         return self._collect(time.perf_counter() - started)
 
@@ -169,15 +412,19 @@ class Simulation:
             for hour, count in stats.bucketed_hits.items():
                 if hour < hour_count:
                     hourly_hits[hour] += count
+        for hour, count in self._unserved_by_hour.items():
+            if hour < hour_count:
+                hourly_requests[hour] += count
 
         def dense(sparse: Dict[int, int]) -> List[int]:
             return [int(sparse.get(hour, 0)) for hour in range(hour_count)]
 
         total_requests = sum(proxy.stats.requests for proxy in self.proxies)
+        total_requests += sum(self._unserved_by_hour.values())
         total_hits = sum(proxy.stats.hits for proxy in self.proxies)
         total_stale = sum(proxy.stats.stale_hits for proxy in self.proxies)
 
-        return SimulationResult(
+        result = SimulationResult(
             strategy=self.config.strategy,
             trace_label=self.workload.label or "custom",
             capacity_fraction=self.config.capacity_fraction,
@@ -201,6 +448,24 @@ class Simulation:
             wall_seconds=wall_seconds,
             total_response_time=self._total_response_time,
         )
+        if self._faults_on:
+            report = self._recovery.report()
+            result.failed_requests = self._failed_requests
+            result.degraded_requests = self._degraded_requests
+            result.hourly_failed = dense(self._failed_by_hour)
+            result.hourly_degraded = dense(self._degraded_by_hour)
+            result.proxy_crashes = sum(p.crash_count for p in self.proxies)
+            result.proxy_downtime_seconds = sum(
+                p.downtime_seconds for p in self.proxies
+            )
+            result.publisher_outage_seconds = self.publisher.outage_seconds
+            result.pushes_suppressed = self._pushes_suppressed
+            result.time_to_warm_seconds = report.time_to_warm
+            result.unwarmed_recoveries = report.unwarmed
+            result.recovery_curve_requests = report.curve_requests
+            result.recovery_curve_hits = report.curve_hits
+            result.recovery_bin_seconds = report.bin_seconds
+        return result
 
 
 def run_simulation(
@@ -208,6 +473,9 @@ def run_simulation(
     config: SimulationConfig,
     match_table: Optional[TraceMatchCounts] = None,
     topology: Optional[Topology] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulation` and run it."""
-    return Simulation(workload, config, match_table, topology).run()
+    return Simulation(
+        workload, config, match_table, topology, fault_schedule=fault_schedule
+    ).run()

@@ -138,3 +138,53 @@ def test_report_command(tmp_path, capsys):
     assert "figure4a" in text and "table2" in text and "beta_sweep" in text
     svgs = list(tmp_path.glob("*.svg"))
     assert len(svgs) >= 9  # fig3 + 4a/4b + 5a/5b + 6a/6b + 7a/7b
+
+
+def test_chaos_command(capsys):
+    code = main(
+        [
+            "chaos",
+            "--strategies",
+            "gdstar,sub",
+            "--scale",
+            "0.03",
+            "--seed",
+            "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "resilience by strategy" in out
+    assert "avail %" in out
+    assert "gdstar" in out and "sub" in out
+    assert "Hourly availability" in out
+
+
+def test_chaos_rejects_unknown_strategy(capsys):
+    code = main(["chaos", "--strategies", "gdstar,nope", "--scale", "0.03"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown strategy: nope" in err
+    assert "valid strategies:" in err and "gdstar" in err
+
+
+def test_chaos_rejects_empty_strategy_list(capsys):
+    code = main(["chaos", "--strategies", ",", "--scale", "0.03"])
+    assert code == 2
+    assert "no strategies" in capsys.readouterr().err
+
+
+def test_seed_sweep_rejects_unknown_strategy(capsys):
+    code = main(["seed-sweep", "--strategy", "bogus", "--scale", "0.03"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown strategy: bogus" in err
+    assert "valid strategies:" in err
+
+
+def test_seed_sweep_rejects_unknown_baseline(capsys):
+    code = main(
+        ["seed-sweep", "--strategy", "sg2", "--baseline", "wat", "--scale", "0.03"]
+    )
+    assert code == 2
+    assert "unknown strategy: wat" in capsys.readouterr().err
