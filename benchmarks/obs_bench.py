@@ -1,0 +1,145 @@
+"""Observability overhead benchmark: ``python benchmarks/obs_bench.py``.
+
+Runs the same simulation cell three ways —
+
+* ``baseline``  — no observer at all (the library default),
+* ``noop``      — an explicit :class:`~repro.obs.NullObserver`, the
+  disabled recorder every simulation consults,
+* ``full``      — tracing (in-memory ring), metrics and profiling all on
+
+— and writes ``BENCH_obs.json`` with runs/sec, seconds-per-run, the
+overhead of each instrumented variant over the baseline, and the
+``full`` run's per-phase timings.  Timings are the **minimum** over
+``--repeats`` runs (the classic noise-resistant estimator); workload
+generation happens once, outside the timed region.
+
+The trace, seed and configuration are fixed so numbers are comparable
+across commits; see benchmarks/README.md for the output format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from time import perf_counter
+from typing import Callable, Dict, List, Optional
+
+from repro.obs import (
+    EventTracer,
+    MetricsRegistry,
+    NullObserver,
+    Observer,
+    Profiler,
+)
+from repro.system.config import SimulationConfig
+from repro.system.simulator import Simulation
+from repro.workload.presets import make_trace
+
+#: The benchmarked cell: the paper's strongest hybrid on the news trace.
+STRATEGY = "sg2"
+CAPACITY = 0.05
+
+
+def _time_variant(
+    workload, seed: int, repeats: int, make_observer: Callable[[], Optional[Observer]]
+) -> Dict[str, object]:
+    """Min-of-``repeats`` wall time for one observer variant."""
+    seconds: List[float] = []
+    last_result = None
+    for _ in range(repeats):
+        config = SimulationConfig(
+            strategy=STRATEGY, capacity_fraction=CAPACITY, seed=seed
+        )
+        observer = make_observer()
+        start = perf_counter()
+        last_result = Simulation(workload, config, observer=observer).run()
+        seconds.append(perf_counter() - start)
+        if observer is not None:
+            observer.close()
+    best = min(seconds)
+    return {
+        "seconds_per_run": best,
+        "runs_per_sec": 1.0 / best if best > 0 else None,
+        "all_seconds": seconds,
+        "result": last_result,
+    }
+
+
+def run_benchmark(scale: float, seed: int, repeats: int) -> Dict[str, object]:
+    """Time all three variants and assemble the BENCH_obs.json payload."""
+    workload = make_trace("news", scale=scale, seed=seed)
+
+    baseline = _time_variant(workload, seed, repeats, lambda: None)
+    noop = _time_variant(workload, seed, repeats, NullObserver)
+    full = _time_variant(
+        workload,
+        seed,
+        repeats,
+        lambda: Observer(
+            registry=MetricsRegistry(),
+            tracer=EventTracer(max_events=100_000),
+            profiler=Profiler(),
+        ),
+    )
+
+    base_s = baseline["seconds_per_run"]
+    payload: Dict[str, object] = {
+        "benchmark": "obs_overhead",
+        "strategy": STRATEGY,
+        "trace": "news",
+        "capacity": CAPACITY,
+        "scale": scale,
+        "seed": seed,
+        "repeats": repeats,
+        "requests": baseline["result"].requests,
+        "variants": {},
+        "phases": full["result"].profile or {},
+    }
+    for name, timing in (("baseline", baseline), ("noop", noop), ("full", full)):
+        entry = {
+            "seconds_per_run": timing["seconds_per_run"],
+            "runs_per_sec": timing["runs_per_sec"],
+            "all_seconds": timing["all_seconds"],
+        }
+        if name != "baseline" and base_s:
+            entry["overhead_fraction"] = timing["seconds_per_run"] / base_s - 1.0
+        payload["variants"][name] = entry
+    return payload
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_obs.json", help="output JSON path")
+    parser.add_argument("--scale", type=float, default=0.1, help="workload scale")
+    parser.add_argument("--seed", type=int, default=7, help="root random seed")
+    parser.add_argument("--repeats", type=int, default=3, help="runs per variant")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny single-repeat run for CI (overrides --scale/--repeats)",
+    )
+    args = parser.parse_args(argv)
+    scale, repeats = args.scale, args.repeats
+    if args.smoke:
+        scale, repeats = 0.02, 1
+
+    payload = run_benchmark(scale, seed=args.seed, repeats=repeats)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    variants = payload["variants"]
+    print(f"wrote {args.out}  (scale={scale} seed={args.seed} repeats={repeats})")
+    for name, entry in variants.items():
+        overhead = entry.get("overhead_fraction")
+        suffix = f"  overhead={100 * overhead:+.1f}%" if overhead is not None else ""
+        print(
+            f"  {name:>8s}: {entry['seconds_per_run']:.4f} s/run "
+            f"({entry['runs_per_sec']:.2f} runs/s){suffix}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""The observability no-op overhead guard (ISSUE 2 acceptance).
+
+An uninstrumented simulation consults :data:`repro.obs.NULL_OBSERVER`
+through one boolean attribute per event; this guard pins that cost to
+at most 5 % of the baseline wall time (min-of-repeats on both sides, so
+a single scheduler hiccup cannot fail the suite; the budget can be
+loosened for noisy CI hosts via ``REPRO_OBS_TOLERANCE``).
+
+Also validates the ``BENCH_obs.json`` schema the standalone script
+(benchmarks/obs_bench.py) emits, so the format documented in
+benchmarks/README.md cannot drift silently.
+"""
+
+import json
+import os
+
+from benchmarks.conftest import SEED
+from benchmarks.obs_bench import main as obs_bench_main
+from benchmarks.obs_bench import run_benchmark
+
+#: Maximum tolerated no-op observer slowdown (fraction of baseline).
+TOLERANCE = float(os.environ.get("REPRO_OBS_TOLERANCE", "0.05"))
+
+
+def test_noop_observer_overhead_within_budget():
+    payload = run_benchmark(scale=0.05, seed=SEED, repeats=3)
+    overhead = payload["variants"]["noop"]["overhead_fraction"]
+    assert overhead <= TOLERANCE, (
+        f"no-op observer costs {100 * overhead:.1f}% over baseline "
+        f"(budget {100 * TOLERANCE:.0f}%)"
+    )
+
+
+def test_bench_obs_json_schema(tmp_path):
+    out = tmp_path / "BENCH_obs.json"
+    assert obs_bench_main(["--smoke", "--out", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["benchmark"] == "obs_overhead"
+    for key in ("strategy", "trace", "scale", "seed", "repeats", "requests"):
+        assert key in payload
+    for name in ("baseline", "noop", "full"):
+        entry = payload["variants"][name]
+        assert entry["seconds_per_run"] > 0
+        assert entry["runs_per_sec"] > 0
+        assert len(entry["all_seconds"]) == payload["repeats"]
+    for name in ("noop", "full"):
+        assert "overhead_fraction" in payload["variants"][name]
+    # The full variant profiles the run: its hot phases must be present.
+    assert "engine.step" in payload["phases"]
+    assert payload["phases"]["engine.step"]["calls"] > 0

@@ -116,3 +116,15 @@ class AddressableHeap:
         """Compact when dead records dominate the backing list."""
         if len(self._heap) > slack_factor * max(8, len(self._live)):
             self.compact()
+
+    def instrument(self, profiler) -> None:
+        """Time this instance's ``push``/``pop`` under ``heap.*`` phases.
+
+        ``profiler`` is a :class:`repro.obs.profile.Profiler`.  The
+        wrappers shadow the bound methods as instance attributes, so
+        uninstrumented heaps keep the plain class methods.  The
+        class-level ``update`` alias still resolves to the unwrapped
+        ``push``; callers of ``update`` go untimed.
+        """
+        self.push = profiler.wrap(self.push, "heap.push")
+        self.pop = profiler.wrap(self.pop, "heap.pop")

@@ -17,6 +17,11 @@ from repro.cache.entry import CacheEntry
 class CacheStorage:
     """A capacity-limited store of cache entries, keyed by page_id."""
 
+    #: Optional observability hook, called as ``listener(op, entry)``
+    #: with ``op`` in {"add", "remove"} after each successful mutation.
+    #: ``None`` (the class default) keeps the mutation paths untouched.
+    listener = None
+
     def __init__(self, capacity_bytes: int) -> None:
         if capacity_bytes < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity_bytes}")
@@ -83,11 +88,15 @@ class CacheStorage:
             )
         self._entries[entry.page_id] = entry
         self._used_bytes += entry.size
+        if self.listener is not None:
+            self.listener("add", entry)
 
     def remove(self, page_id: int) -> CacheEntry:
         """Remove and return the entry for ``page_id``."""
         entry = self._entries.pop(page_id)
         self._used_bytes -= entry.size
+        if self.listener is not None:
+            self.listener("remove", entry)
         return entry
 
     def pop_if_present(self, page_id: int) -> Optional[CacheEntry]:

@@ -9,6 +9,8 @@
     repro-pubsub calibrate-beta --trace news --prefix 0.25
     repro-pubsub seed-sweep --strategy sg2 --baseline gdstar --seeds 5
     repro-pubsub chaos --strategies gdstar,sub --proxy-mtbf 86400
+    repro-pubsub chaos --trace-out trace.jsonl --metrics-out metrics.prom
+    repro-pubsub inspect trace.jsonl
     repro-pubsub trace-stats --trace alternative --scale 0.2 --validate
     repro-pubsub generate-trace --trace news --output trace.json
 """
@@ -24,6 +26,7 @@ from repro.experiments.figures import beta_sweep, figure3, figure4, figure5, fig
 from repro.experiments.runner import run_cell
 from repro.experiments.spec import CellKey
 from repro.experiments.tables import table2
+from repro.obs import build_observer, setup_cli_logging
 from repro.system.config import PushingScheme
 from repro.workload.presets import make_trace
 
@@ -55,9 +58,60 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="workload scale (1.0 = the paper's full size)",
     )
     parser.add_argument("--seed", type=int, default=7, help="root random seed")
+    _add_verbose(parser)
+
+
+def _add_verbose(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log progress to stderr (-v info, -vv debug)",
+    )
+
+
+def _add_obs(parser: argparse.ArgumentParser, profile: bool = False) -> None:
+    """Observability flags shared by the simulating subcommands."""
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="stream simulation lifecycle events to FILE as JSONL",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write aggregate metrics to FILE in Prometheus text format",
+    )
+    if profile:
+        parser.add_argument(
+            "--profile", action="store_true",
+            help="time the simulator's hot paths and print a summary",
+        )
+
+
+def _make_observer(args: argparse.Namespace):
+    """Build an :class:`Observer` from the parsed obs flags (or None)."""
+    return build_observer(
+        trace_out=args.trace_out,
+        metrics=bool(args.metrics_out),
+        profile=bool(getattr(args, "profile", False)),
+    )
+
+
+def _finish_observer(observer, args: argparse.Namespace) -> None:
+    """Flush observer outputs: the metrics file and the trace sink."""
+    if observer is None:
+        return
+    if args.metrics_out and observer.registry is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(observer.registry.render_prometheus())
+        print(f"wrote {args.metrics_out}")
+    observer.close()
+    if args.trace_out:
+        print(f"wrote {args.trace_out}")
+    if getattr(args, "profile", False) and observer.profiler is not None:
+        print()
+        print(observer.profiler.render())
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    observer = _make_observer(args)
     result = run_cell(
         CellKey(
             trace=args.trace,
@@ -69,8 +123,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
         beta=args.beta,
+        observer=observer,
     )
     print(result.summary())
+    _finish_observer(observer, args)
     return 0
 
 
@@ -202,6 +258,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"invalid chaos parameter: {error}", file=sys.stderr)
         return 2
+    observer = _make_observer(args)
     outcome = run_chaos(
         strategies=strategies,
         trace=args.trace,
@@ -209,8 +266,27 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
         spec=spec,
+        observer=observer,
     )
     print(outcome.text)
+    _finish_observer(observer, args)
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.obs.inspect import render_page_history, summarize_trace
+
+    try:
+        if args.page is not None:
+            print(render_page_history(args.path, args.page))
+        else:
+            print(summarize_trace(args.path).render(top=args.top))
+    except FileNotFoundError:
+        print(f"no such trace file: {args.path}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"malformed trace file: {error}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -309,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--beta", type=float, default=None)
     _add_common(run_parser)
+    _add_obs(run_parser, profile=True)
     run_parser.set_defaults(func=_cmd_run)
 
     figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
@@ -416,7 +493,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-transfer loss probability on degraded links",
     )
     _add_common(chaos_parser)
+    _add_obs(chaos_parser)
     chaos_parser.set_defaults(func=_cmd_chaos)
+
+    inspect_parser = sub.add_parser(
+        "inspect", help="summarize a JSONL event trace written by --trace-out"
+    )
+    inspect_parser.add_argument("path", help="trace file (JSONL)")
+    inspect_parser.add_argument(
+        "--top", type=int, default=10,
+        help="how many hottest pages to list",
+    )
+    inspect_parser.add_argument(
+        "--page", type=int, default=None,
+        help="show the full event history of one page instead",
+    )
+    _add_verbose(inspect_parser)
+    inspect_parser.set_defaults(func=_cmd_inspect)
 
     generate_parser = sub.add_parser(
         "generate-trace", help="generate a workload and write it as JSON"
@@ -435,6 +528,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro-pubsub`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    setup_cli_logging(args.verbose)
     return args.func(args)
 
 

@@ -50,7 +50,7 @@ class _AccessOnlyPolicy(Policy):
         if not result.success:
             return RequestOutcome(hit=False, cached_after=False)
         for evicted in result.evicted:
-            self.stats.record_eviction(evicted.size)
+            self._note_eviction(evicted)
         self._after_evictions(result)
         entry = CacheEntry(
             page_id=page_id,

@@ -78,7 +78,7 @@ class _DualCacheBase(Policy):
         if not result.success:
             return False
         for evicted in result.evicted:
-            self.stats.record_eviction(evicted.size)
+            self._note_eviction(evicted)
         if result.last_value is not None:
             self.inflation = result.last_value
         if result.evicted:
@@ -146,7 +146,7 @@ class _DualCacheBase(Policy):
         if not result.success:
             return False
         for evicted in result.evicted:
-            self.stats.record_eviction(evicted.size)
+            self._note_eviction(evicted, cause="displaced")
         entry = CacheEntry(
             page_id=page_id,
             version=version,
@@ -379,7 +379,7 @@ class DualCacheAdaptivePolicy(_DualCacheBase):
         for entry in donated:
             self.ac.storage.remove(entry.page_id)
             self._stamps.pop(entry.page_id, None)
-            self.stats.record_eviction(entry.size)
+            self._note_eviction(entry, cause="repartition")
             moved_bytes += entry.size
         self.ac.storage.resize(self.ac.capacity_bytes - moved_bytes)
         self.pc.storage.resize(self.pc.capacity_bytes + moved_bytes)

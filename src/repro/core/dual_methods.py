@@ -125,7 +125,7 @@ class DualMethodsPolicy(Policy):
         for page_id, _value in popped:
             self._access_heap.discard(page_id)
             evicted = self._storage.remove(page_id)
-            self.stats.record_eviction(evicted.size)
+            self._note_eviction(evicted, cause="displaced")
         return True
 
     # -- access time ----------------------------------------------------------
@@ -159,7 +159,7 @@ class DualMethodsPolicy(Policy):
             victim_id, victim_value = self._access_heap.pop()
             self._push_heap.discard(victim_id)
             evicted = self._storage.remove(victim_id)
-            self.stats.record_eviction(evicted.size)
+            self._note_eviction(evicted)
             last_value = victim_value
         if last_value is not None:
             self.inflation = last_value

@@ -109,7 +109,7 @@ class GDStarPolicy(Policy):
     def _settle_evictions(self, result) -> None:
         """Account for evicted pages and advance the inflation value."""
         for evicted in result.evicted:
-            self.stats.record_eviction(evicted.size)
+            self._note_eviction(evicted)
             if self.retain_counts_on_eviction:
                 self._evicted_counts[evicted.page_id] = evicted.access_count
         if result.last_value is not None:

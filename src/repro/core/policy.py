@@ -73,6 +73,11 @@ class Policy(ABC):
 
     #: Registry name, set by subclasses (e.g. ``"gdstar"``).
     name: str = "abstract"
+    #: Optional observability hook, called as ``listener(page_id,
+    #: size, cause)`` after each eviction.  ``None`` (the class
+    #: default) keeps the eviction path free of extra work; the
+    #: simulator installs one per proxy when an Observer is attached.
+    evict_listener = None
     #: Whether the strategy has a push-time module at all.  Pure
     #: access-time policies (GD*, LRU, ...) set this False; the
     #: simulator then never transfers pushed content to them, even
@@ -148,6 +153,17 @@ class Policy(ABC):
         """Update stats with one request, bucketed by hour."""
         bucket = int(now // 3600.0)
         self.stats.record_request(hit=hit, size=size, bucket=bucket, stale=stale)
+
+    def _note_eviction(self, entry, cause: str = "capacity") -> None:
+        """Count one eviction and notify the observability hook.
+
+        ``cause`` distinguishes unconditional replacement
+        ("capacity"), conditional displacement by a more valuable page
+        ("displaced") and dual-cache repartitioning ("repartition").
+        """
+        self.stats.record_eviction(entry.size)
+        if self.evict_listener is not None:
+            self.evict_listener(entry.page_id, entry.size, cause)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

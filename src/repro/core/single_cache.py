@@ -86,7 +86,7 @@ class SingleCacheCombinedPolicy(Policy):
 
     def _settle_evictions(self, result) -> None:
         for evicted in result.evicted:
-            self.stats.record_eviction(evicted.size)
+            self._note_eviction(evicted)
         if self.mode != SR and result.last_value is not None:
             self.inflation = result.last_value
 

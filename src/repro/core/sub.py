@@ -67,7 +67,7 @@ class SubPolicy(Policy):
             self.stats.record_push(stored=False, size=size, transferred=False)
             return PushOutcome(stored=False)
         for evicted in result.evicted:
-            self.stats.record_eviction(evicted.size)
+            self._note_eviction(evicted, cause="displaced")
         entry = CacheEntry(
             page_id=page_id,
             version=version,

@@ -26,9 +26,13 @@ from typing import Dict, List, Optional, Sequence
 from repro.experiments.report import render_series, render_table
 from repro.experiments.runner import paper_beta, trace_for
 from repro.faults.spec import ChaosSpec
+from repro.obs.log import get_logger
+from repro.obs.recorder import Observer
 from repro.system.config import SimulationConfig
 from repro.system.metrics import SimulationResult
 from repro.system.simulator import Simulation
+
+logger = get_logger(__name__)
 
 #: Strategies compared under chaos: the paper's best pull-only method,
 #: the push-only baseline, and the two strongest hybrids.
@@ -69,6 +73,7 @@ def run_chaos(
     scale: float = 1.0,
     seed: int = 7,
     spec: Optional[ChaosSpec] = None,
+    observer: Optional[Observer] = None,
 ) -> ChaosResult:
     """Run every strategy under one identical fault schedule.
 
@@ -77,6 +82,11 @@ def run_chaos(
     the same crash times, the same outages and the same degraded
     windows — the comparison isolates the *strategy's* contribution to
     resilience.
+
+    One ``observer`` (if given) is shared across the sequential
+    strategy runs: each run re-binds the tracer context with its
+    strategy tag, while registry counters accumulate across the whole
+    comparison.
     """
     if spec is None:
         spec = DEFAULT_CHAOS
@@ -90,7 +100,10 @@ def run_chaos(
             seed=seed,
             chaos=spec,
         )
-        outcome.results[strategy] = Simulation(workload, config).run()
+        logger.info("chaos run: strategy=%s trace=%s", strategy, trace)
+        outcome.results[strategy] = Simulation(
+            workload, config, observer=observer
+        ).run()
     outcome.text = _render(outcome, trace, capacity)
     return outcome
 

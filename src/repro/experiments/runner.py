@@ -11,6 +11,8 @@ from functools import lru_cache
 from typing import Callable, Dict, Optional
 
 from repro.network.topology import Topology, build_topology
+from repro.obs.log import get_logger
+from repro.obs.recorder import Observer
 from repro.pubsub.matching import TraceMatchCounts
 from repro.sim.rng import RandomStreams
 from repro.system.config import PushingScheme, SimulationConfig
@@ -20,6 +22,8 @@ from repro.workload.presets import make_trace
 from repro.workload.subscriptions import build_match_counts
 from repro.workload.trace import Workload
 from repro.experiments.spec import CellKey, ExperimentGrid, GridResult
+
+logger = get_logger(__name__)
 
 
 @lru_cache(maxsize=8)
@@ -77,8 +81,13 @@ def run_cell(
     beta: Optional[float] = None,
     notified_fraction: float = 1.0,
     strategy_options: Optional[Dict] = None,
+    observer: Optional[Observer] = None,
 ) -> SimulationResult:
     """Run one simulation cell (trace and tables are memoized)."""
+    logger.info(
+        "cell %s/%s cap=%.2f sq=%.2f (scale=%s seed=%d)",
+        key.trace, key.strategy, key.capacity, key.sq, scale, seed,
+    )
     workload = trace_for(key.trace, scale, seed)
     match_table = _match_table_for(
         key.trace, scale, seed, key.sq, notified_fraction
@@ -97,8 +106,10 @@ def run_cell(
         seed=seed,
         notified_fraction=notified_fraction,
     )
-    simulation = Simulation(workload, config, match_table, topology)
-    return simulation.run()
+    simulation = Simulation(workload, config, match_table, topology, observer=observer)
+    result = simulation.run()
+    logger.debug("cell done: %s", result.summary())
+    return result
 
 
 def run_grid(

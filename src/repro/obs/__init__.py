@@ -1,0 +1,56 @@
+"""Observability: metrics registry, event tracing, profiling, logging.
+
+The simulation layers report *what happened* through one optional
+:class:`~repro.obs.recorder.Observer`; this package holds the pieces:
+
+* :class:`~repro.obs.registry.MetricsRegistry` — named counters,
+  gauges and fixed-bucket histograms with Prometheus-text and JSON
+  exporters;
+* :class:`~repro.obs.tracer.EventTracer` — structured, sim-time-stamped
+  lifecycle events (the taxonomy in
+  :data:`~repro.obs.tracer.EVENT_TYPES`) into a ring buffer or a JSONL
+  sink, filterable per page/proxy/type;
+* :class:`~repro.obs.profile.Profiler` — span-style wall-time and
+  call-count accounting around the hot paths;
+* :mod:`repro.obs.inspect` — summarise a trace file back into answers;
+* :mod:`repro.obs.log` — stdlib logging under the ``repro.*``
+  namespace (NullHandler by default; the CLI installs a console
+  handler for ``-v``/``-vv``).
+
+The module-level :data:`~repro.obs.recorder.NULL_OBSERVER` is the
+default everywhere: with no observer attached a run's results are
+bit-identical to an unobserved build and the overhead is one boolean
+test per simulation event.
+"""
+
+from repro.obs.log import get_logger, setup_cli_logging
+from repro.obs.profile import NULL_SPAN, NullSpan, Profiler
+from repro.obs.recorder import NULL_OBSERVER, NullObserver, Observer, build_observer
+from repro.obs.registry import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import EVENT_TYPES, EventTracer, read_jsonl
+
+__all__ = [
+    "Observer",
+    "NullObserver",
+    "NULL_OBSERVER",
+    "build_observer",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "EventTracer",
+    "EVENT_TYPES",
+    "read_jsonl",
+    "Profiler",
+    "NullSpan",
+    "NULL_SPAN",
+    "get_logger",
+    "setup_cli_logging",
+]

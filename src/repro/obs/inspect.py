@@ -1,0 +1,141 @@
+"""Summarise a JSONL trace file (the ``repro-pubsub inspect`` backend).
+
+Given a trace written with ``--trace-out``, this module answers the
+questions a failed or surprising run raises first: what happened, to
+which pages, why did entries leave the caches, and how did the fault
+timeline unfold.  It can also replay one page's entire life.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.tracer import EVENT_TYPES, read_jsonl
+
+#: Event types rendered on the fault/failover timeline, in trace order.
+_TIMELINE_TYPES = frozenset(
+    {"crash", "restart", "outage", "outage_end", "failover", "retry", "failed"}
+)
+
+#: Per-page churn weighting: every one of these counts as one unit of
+#: "something happened to this page".
+_CHURN_TYPES = frozenset(
+    {"publish", "push_accept", "evict", "fetch", "peer_fetch", "miss", "stale"}
+)
+
+
+@dataclass
+class TraceSummary:
+    """Aggregates computed from one trace file."""
+
+    path: str
+    event_count: int = 0
+    time_range: Optional[tuple] = None
+    strategies: List[str] = field(default_factory=list)
+    counts_by_type: Counter = field(default_factory=Counter)
+    unknown_types: Counter = field(default_factory=Counter)
+    churn_by_page: Counter = field(default_factory=Counter)
+    churn_detail: Dict[int, Counter] = field(default_factory=dict)
+    eviction_causes: Counter = field(default_factory=Counter)
+    timeline: List[dict] = field(default_factory=list)
+
+    def render(self, top: int = 10, timeline_limit: int = 20) -> str:
+        lines = [f"trace    : {self.path}"]
+        lines.append(f"events   : {self.event_count}")
+        if self.time_range is not None:
+            lines.append(
+                f"sim time : {self.time_range[0]:.1f} .. {self.time_range[1]:.1f} s"
+            )
+        if self.strategies:
+            lines.append(f"strategy : {', '.join(self.strategies)}")
+        lines.append("")
+        lines.append("events by type:")
+        for etype, count in self.counts_by_type.most_common():
+            lines.append(f"  {etype:<16s} {count}")
+        for etype, count in self.unknown_types.most_common():
+            lines.append(f"  {etype:<16s} {count}  (not in taxonomy)")
+        if self.churn_by_page:
+            lines.append("")
+            lines.append(f"top {top} pages by churn (publish+push+evict+fetch+miss):")
+            for page, churn in self.churn_by_page.most_common(top):
+                detail = self.churn_detail.get(page, Counter())
+                parts = " ".join(
+                    f"{etype}={count}" for etype, count in sorted(detail.items())
+                )
+                lines.append(f"  page {page:<8d} churn={churn:<6d} {parts}")
+        if self.eviction_causes:
+            lines.append("")
+            lines.append("eviction causes:")
+            for cause, count in self.eviction_causes.most_common():
+                lines.append(f"  {cause:<16s} {count}")
+        if self.timeline:
+            lines.append("")
+            shown = self.timeline[:timeline_limit]
+            lines.append(
+                f"fault/failover timeline (first {len(shown)} of "
+                f"{len(self.timeline)}):"
+            )
+            for event in shown:
+                detail = " ".join(
+                    f"{key}={event[key]}"
+                    for key in ("proxy", "page", "target", "reason", "attempt")
+                    if key in event
+                )
+                lines.append(f"  t={event['t']:>12.1f}  {event['type']:<12s} {detail}")
+        return "\n".join(lines)
+
+
+def summarize_trace(path: str) -> TraceSummary:
+    """Read ``path`` and compute the summary aggregates."""
+    events = read_jsonl(path)
+    summary = TraceSummary(path=path, event_count=len(events))
+    t_min = t_max = None
+    strategies: List[str] = []
+    for event in events:
+        etype = event.get("type")
+        t = event.get("t")
+        if isinstance(t, (int, float)):
+            t_min = t if t_min is None else min(t_min, t)
+            t_max = t if t_max is None else max(t_max, t)
+        if etype in EVENT_TYPES:
+            summary.counts_by_type[etype] += 1
+        else:
+            summary.unknown_types[str(etype)] += 1
+            continue
+        strategy = event.get("strategy")
+        if strategy and strategy not in strategies:
+            strategies.append(strategy)
+        page = event.get("page")
+        if etype in _CHURN_TYPES and page is not None:
+            summary.churn_by_page[page] += 1
+            summary.churn_detail.setdefault(page, Counter())[etype] += 1
+        if etype == "evict":
+            summary.eviction_causes[event.get("cause", "unknown")] += 1
+        if etype in _TIMELINE_TYPES:
+            summary.timeline.append(event)
+    if t_min is not None:
+        summary.time_range = (t_min, t_max)
+    summary.strategies = strategies
+    return summary
+
+
+def page_history(path: str, page_id: int) -> List[dict]:
+    """Every event touching ``page_id``, in trace (time) order."""
+    return [e for e in read_jsonl(path) if e.get("page") == page_id]
+
+
+def render_page_history(path: str, page_id: int) -> str:
+    """The life of one page as a readable timeline."""
+    events = page_history(path, page_id)
+    if not events:
+        return f"page {page_id}: no events in {path}"
+    lines = [f"page {page_id}: {len(events)} events"]
+    skip = {"t", "type", "page"}
+    for event in events:
+        detail = " ".join(
+            f"{key}={value}" for key, value in event.items() if key not in skip
+        )
+        lines.append(f"  t={event['t']:>12.1f}  {event['type']:<14s} {detail}")
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Span-style wall-time profiling for the simulation hot paths.
+
+A :class:`Profiler` accumulates ``(call count, wall seconds)`` per named
+phase.  Three styles of use, from coarse to fine:
+
+* ``with profiler.span("sim.run"):`` — a phase of one run;
+* ``wrapped = profiler.wrap(fn, "policy.on_request")`` — per-call
+  timing of a hot function, installed as an instance attribute so an
+  unprofiled object keeps its original, untouched method;
+* ``profiler.record(name, dt)`` — manual accounting.
+
+Profiling is strictly opt-in: nothing in the simulator times anything
+unless an observer with a profiler is attached, so the default run
+pays nothing.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable, Dict
+
+
+class _Span:
+    """Context manager timing one phase; re-usable via ``span()``."""
+
+    __slots__ = ("_profiler", "_name", "_start")
+
+    def __init__(self, profiler: "Profiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self._profiler.record(self._name, perf_counter() - self._start)
+
+
+class NullSpan:
+    """The do-nothing span handed out when profiling is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        pass
+
+
+NULL_SPAN = NullSpan()
+
+
+class Profiler:
+    """Per-phase call counts and accumulated wall time."""
+
+    __slots__ = ("seconds", "calls")
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    def record(self, name: str, dt: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + dt
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    def span(self, name: str) -> _Span:
+        return _Span(self, name)
+
+    def wrap(self, fn: Callable, name: str) -> Callable:
+        """A wrapper of ``fn`` that records one sample per call."""
+        record = self.record
+
+        def timed(*args, **kwargs):
+            started = perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                record(name, perf_counter() - started)
+
+        timed.__name__ = getattr(fn, "__name__", name)
+        timed.__wrapped__ = fn
+        return timed
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """``{phase: {"calls": n, "seconds": s}}``, ready for JSON."""
+        return {
+            name: {"calls": self.calls[name], "seconds": self.seconds[name]}
+            for name in sorted(self.seconds)
+        }
+
+    def render(self) -> str:
+        """Human-readable table, slowest phase first."""
+        if not self.seconds:
+            return "(no profile samples)"
+        rows = sorted(self.seconds.items(), key=lambda kv: -kv[1])
+        width = max(len(name) for name, _ in rows)
+        lines = [f"{'phase':<{width}}  {'calls':>10}  {'seconds':>10}  {'us/call':>9}"]
+        for name, seconds in rows:
+            calls = self.calls[name]
+            per_call = 1e6 * seconds / calls if calls else 0.0
+            lines.append(
+                f"{name:<{width}}  {calls:>10d}  {seconds:>10.4f}  {per_call:>9.1f}"
+            )
+        return "\n".join(lines)

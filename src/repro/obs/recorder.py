@@ -1,0 +1,296 @@
+"""The :class:`Observer` facade the simulator talks to.
+
+One object bundles the three observability concerns — a
+:class:`~repro.obs.registry.MetricsRegistry`, an
+:class:`~repro.obs.tracer.EventTracer` and a
+:class:`~repro.obs.profile.Profiler` — behind semantic hooks
+(``publish``, ``request_outcome``, ``evict``, ``crash`` ...) so the
+simulator never builds event dicts or picks metric names itself.
+Every part is optional: an Observer with only a tracer traces, one
+with only a registry counts.
+
+:data:`NULL_OBSERVER` is the module-level default.  Its ``enabled``
+flag is ``False`` and the simulator guards every hook call behind that
+flag, so an unobserved run pays one boolean test per handled event and
+stays bit-identical to the pre-observability behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.profile import NULL_SPAN, Profiler
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import EventTracer
+
+
+class Observer:
+    """Routes simulator lifecycle hooks to registry/tracer/profiler."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[EventTracer] = None,
+        profiler: Optional[Profiler] = None,
+    ) -> None:
+        self.registry = registry
+        self.tracer = tracer
+        self.profiler = profiler
+        if registry is not None:
+            c = registry.counter
+            self._c_publish = c("repro_publishes_total", "pages published")
+            self._c_match = c("repro_matches_total", "per-proxy subscription matches")
+            self._c_offer = c("repro_push_offers_total", "push-time placement offers")
+            self._c_accept = c("repro_push_accepts_total", "push offers stored")
+            self._c_reject = c("repro_push_rejects_total", "push offers declined")
+            self._c_suppressed = c(
+                "repro_pushes_suppressed_total", "pushes skipped: endpoint down"
+            )
+            self._c_request = c("repro_requests_total", "user requests")
+            self._c_hit = c("repro_hits_total", "fresh local hits")
+            self._c_stale = c("repro_stale_hits_total", "stale-version misses")
+            self._c_miss = c("repro_misses_total", "cold misses")
+            self._c_fetch = c("repro_fetches_total", "origin demand fetches")
+            self._c_peer = c("repro_peer_fetches_total", "misses served by a peer")
+            self._c_failover = c("repro_failovers_total", "failover hops taken")
+            self._c_retry = c("repro_retries_total", "origin retry attempts")
+            self._c_failed = c("repro_failed_requests_total", "requests never served")
+            self._c_evict = c("repro_evictions_total", "cache evictions")
+            self._c_evict_bytes = c("repro_evicted_bytes_total", "bytes evicted")
+            self._c_crash = c("repro_proxy_crashes_total", "proxy crash events")
+            self._c_restart = c("repro_proxy_restarts_total", "proxy restarts")
+            self._c_outage = c("repro_publisher_outages_total", "origin outages")
+            self._c_cache_add = c(
+                "repro_cache_insertions_total", "entries inserted into any cache"
+            )
+            self._c_cache_remove = c(
+                "repro_cache_removals_total", "entries removed from any cache"
+            )
+            self._g_sim_time = registry.gauge(
+                "repro_sim_time_seconds", "virtual clock at run end"
+            )
+            self._g_cache_used = registry.gauge(
+                "repro_cache_used_bytes", "bytes cached across proxies at run end"
+            )
+            self._h_latency = registry.histogram(
+                "repro_request_latency_seconds", "modelled per-request response time"
+            )
+
+    # -- run framing --------------------------------------------------------
+
+    def run_start(self, **context) -> None:
+        """A simulation run begins; ``context`` tags every trace event."""
+        if self.tracer is not None:
+            self.tracer.bind(**context)
+            self.tracer.emit("run_start", 0.0, **context)
+
+    def run_end(self, t: float, cache_used_bytes: Optional[int] = None) -> None:
+        if self.registry is not None:
+            self._g_sim_time.set(t)
+            if cache_used_bytes is not None:
+                self._g_cache_used.set(cache_used_bytes)
+        if self.tracer is not None:
+            self.tracer.emit("run_end", t)
+
+    # -- publish-side lifecycle ---------------------------------------------
+
+    def publish(self, t: float, page: int, version: int, size: int) -> None:
+        if self.registry is not None:
+            self._c_publish.inc()
+        if self.tracer is not None:
+            self.tracer.emit("publish", t, page=page, version=version, size=size)
+
+    def match(self, t: float, page: int, proxy: int, match_count: int) -> None:
+        if self.registry is not None:
+            self._c_match.inc()
+        if self.tracer is not None:
+            self.tracer.emit("match", t, page=page, proxy=proxy, matches=match_count)
+
+    def push_offer(self, t: float, page: int, proxy: int) -> None:
+        if self.registry is not None:
+            self._c_offer.inc()
+        if self.tracer is not None:
+            self.tracer.emit("push_offer", t, page=page, proxy=proxy)
+
+    def push_accept(self, t: float, page: int, proxy: int, refreshed: bool) -> None:
+        if self.registry is not None:
+            self._c_accept.inc()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "push_accept", t, page=page, proxy=proxy, refreshed=refreshed
+            )
+
+    def push_reject(self, t: float, page: int, proxy: int) -> None:
+        if self.registry is not None:
+            self._c_reject.inc()
+        if self.tracer is not None:
+            self.tracer.emit("push_reject", t, page=page, proxy=proxy)
+
+    def push_suppressed(self, t: float, page: int, proxy: int, reason: str) -> None:
+        if self.registry is not None:
+            self._c_suppressed.inc()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "push_suppressed", t, page=page, proxy=proxy, reason=reason
+            )
+
+    # -- request-side lifecycle ----------------------------------------------
+
+    def request(self, t: float, page: int, proxy: int) -> None:
+        if self.registry is not None:
+            self._c_request.inc()
+        if self.tracer is not None:
+            self.tracer.emit("request", t, page=page, proxy=proxy)
+
+    def request_outcome(
+        self, t: float, page: int, proxy: int, kind: str, latency: float
+    ) -> None:
+        """``kind`` is ``"hit"``, ``"stale"`` or ``"miss"``."""
+        if self.registry is not None:
+            if kind == "hit":
+                self._c_hit.inc()
+            elif kind == "stale":
+                self._c_stale.inc()
+            else:
+                self._c_miss.inc()
+            self._h_latency.observe(latency)
+        if self.tracer is not None:
+            self.tracer.emit(kind, t, page=page, proxy=proxy, latency=latency)
+
+    def fetch(self, t: float, page: int, proxy: int, source: str = "origin") -> None:
+        if self.registry is not None:
+            if source == "origin":
+                self._c_fetch.inc()
+            else:
+                self._c_peer.inc()
+        if self.tracer is not None:
+            kind = "fetch" if source == "origin" else "peer_fetch"
+            self.tracer.emit(kind, t, page=page, proxy=proxy, source=source)
+
+    # -- degradation ---------------------------------------------------------
+
+    def failover(
+        self, t: float, proxy: int, page: int, target: str, reason: str
+    ) -> None:
+        if self.registry is not None:
+            self._c_failover.inc()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "failover", t, page=page, proxy=proxy, target=target, reason=reason
+            )
+
+    def retry(
+        self, t: float, page: int, proxy: int, attempt: int, backoff: float
+    ) -> None:
+        if self.registry is not None:
+            self._c_retry.inc()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "retry", t, page=page, proxy=proxy, attempt=attempt, backoff=backoff
+            )
+
+    def failed(self, t: float, page: int, proxy: int) -> None:
+        if self.registry is not None:
+            self._c_failed.inc()
+        if self.tracer is not None:
+            self.tracer.emit("failed", t, page=page, proxy=proxy)
+
+    # -- cache churn -----------------------------------------------------------
+
+    def evict(self, t: float, page: int, proxy: int, size: int, cause: str) -> None:
+        if self.registry is not None:
+            self._c_evict.inc()
+            self._c_evict_bytes.inc(size)
+        if self.tracer is not None:
+            self.tracer.emit("evict", t, page=page, proxy=proxy, size=size, cause=cause)
+
+    def cache_op(self, op: str) -> None:
+        """Raw storage add/remove, wired via the CacheStorage listener."""
+        if self.registry is not None:
+            if op == "add":
+                self._c_cache_add.inc()
+            else:
+                self._c_cache_remove.inc()
+
+    # -- component faults ------------------------------------------------------
+
+    def crash(self, t: float, proxy: int) -> None:
+        if self.registry is not None:
+            self._c_crash.inc()
+        if self.tracer is not None:
+            self.tracer.emit("crash", t, proxy=proxy)
+
+    def restart(self, t: float, proxy: int) -> None:
+        if self.registry is not None:
+            self._c_restart.inc()
+        if self.tracer is not None:
+            self.tracer.emit("restart", t, proxy=proxy)
+
+    def outage(self, t: float) -> None:
+        if self.registry is not None:
+            self._c_outage.inc()
+        if self.tracer is not None:
+            self.tracer.emit("outage", t)
+
+    def outage_end(self, t: float) -> None:
+        if self.tracer is not None:
+            self.tracer.emit("outage_end", t)
+
+    # -- profiling --------------------------------------------------------------
+
+    def span(self, name: str):
+        """A timing span, or a no-op when no profiler is attached."""
+        if self.profiler is None:
+            return NULL_SPAN
+        return self.profiler.span(name)
+
+    def close(self) -> None:
+        """Flush/close the tracer sink (idempotent)."""
+        if self.tracer is not None:
+            self.tracer.close()
+
+
+class NullObserver(Observer):
+    """The disabled default: every hook is a no-op.
+
+    The simulator additionally guards hook calls behind ``enabled``, so
+    with this observer the only per-event cost is that boolean test.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(registry=None, tracer=None, profiler=None)
+
+    def span(self, name: str):
+        return NULL_SPAN
+
+
+#: Shared module-level no-op recorder; the default for every run.
+NULL_OBSERVER = NullObserver()
+
+
+def build_observer(
+    trace_out: Optional[str] = None,
+    metrics: bool = False,
+    profile: bool = False,
+    trace_pages=None,
+    trace_proxies=None,
+    max_events: int = 100_000,
+) -> Optional[Observer]:
+    """Assemble an Observer from CLI-ish flags; None if nothing is on."""
+    tracer = None
+    if trace_out is not None:
+        tracer = EventTracer(
+            sink=trace_out,
+            max_events=0,
+            pages=trace_pages,
+            proxies=trace_proxies,
+        )
+    registry = MetricsRegistry() if metrics else None
+    profiler = Profiler() if profile else None
+    if tracer is None and registry is None and profiler is None:
+        return None
+    return Observer(registry=registry, tracer=tracer, profiler=profiler)

@@ -114,7 +114,16 @@ class Environment:
     distribution simulator's trace replay does this), or
     :meth:`process` to launch a generator-based process (see
     :mod:`repro.sim.process`).
+
+    Setting :attr:`profiler` (any object with ``record(name, dt)``,
+    e.g. :class:`repro.obs.profile.Profiler`) makes :meth:`run` time
+    each agenda step under the ``"engine.step"`` phase.  It defaults to
+    ``None`` and the unprofiled loop is untouched, so observability is
+    free when off.
     """
+
+    #: Optional span profiler for the event loop (see class docstring).
+    profiler = None
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -194,9 +203,21 @@ class Environment:
         """
         if until is not None and until < self._now:
             raise SimulationError(f"until={until} lies in the past (now={self._now})")
-        while self._agenda:
-            if until is not None and self._agenda[0][0] > until:
-                break
-            self.step()
+        profiler = self.profiler
+        if profiler is None:
+            while self._agenda:
+                if until is not None and self._agenda[0][0] > until:
+                    break
+                self.step()
+        else:
+            from time import perf_counter
+
+            record = profiler.record
+            while self._agenda:
+                if until is not None and self._agenda[0][0] > until:
+                    break
+                started = perf_counter()
+                self.step()
+                record("engine.step", perf_counter() - started)
         if until is not None:
             self._now = max(self._now, until)

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.faults.schedule import FaultSchedule
 from repro.network.topology import Topology
+from repro.obs.recorder import Observer
 from repro.pubsub.matching import TraceMatchCounts
 from repro.system.config import SimulationConfig
 from repro.system.metrics import SimulationResult
@@ -45,11 +46,17 @@ class CooperativeSimulation(Simulation):
         topology: Optional[Topology] = None,
         neighbor_count: int = 3,
         fault_schedule: Optional[FaultSchedule] = None,
+        observer: Optional[Observer] = None,
     ) -> None:
         if neighbor_count < 0:
             raise ValueError(f"neighbor_count must be >= 0, got {neighbor_count}")
         super().__init__(
-            workload, config, match_table, topology, fault_schedule=fault_schedule
+            workload,
+            config,
+            match_table,
+            topology,
+            fault_schedule=fault_schedule,
+            observer=observer,
         )
         self.neighbor_count = int(neighbor_count)
         self._neighbors = self._nearest_neighbors()
@@ -108,18 +115,31 @@ class CooperativeSimulation(Simulation):
         size = self.publisher.page_size(page_id)
         match_count = self.match_table.count_for(page_id, server_id)
         proxy = self.proxies[server_id]
+        obs_on = self._obs_on
+        if obs_on:
+            self._obs_now = now
+            self.obs.request(now, page_id, server_id)
         outcome = proxy.handle_request(page_id, version, size, match_count, now)
         latency = self.config.hit_latency
         if not outcome.hit:
             peer = self._peer_with_version(server_id, page_id, version)
             if peer is not None:
-                _peer_index, hops = peer
+                peer_index, hops = peer
                 self._record_peer_fetch(size, now)
                 latency += self.config.per_hop_latency * max(1.0, hops)
+                if obs_on:
+                    self.obs.fetch(
+                        now, page_id, server_id, source=f"peer:{peer_index}"
+                    )
             else:
                 self.publisher.record_fetch(page_id, now)
                 latency += self.config.per_hop_latency * proxy.policy.cost
+                if obs_on:
+                    self.obs.fetch(now, page_id, server_id)
         self._total_response_time += latency
+        if obs_on:
+            kind = "hit" if outcome.hit else ("stale" if outcome.stale else "miss")
+            self.obs.request_outcome(now, page_id, server_id, kind, latency)
         self._maybe_check_invariants()
 
     def _record_peer_fetch(self, size: int, now: float) -> None:
@@ -149,6 +169,7 @@ class CooperativeSimulation(Simulation):
         worst case is dead-peer timeouts plus origin backoff, and the
         request only *fails* if the origin retries are also exhausted.
         """
+        obs_on = self._obs_on
         waited = 0.0
         timed_out = 0
         origin_cost = proxy.policy.cost
@@ -160,10 +181,22 @@ class CooperativeSimulation(Simulation):
                 # Dead probe: pay the timeout, fail over to the next hop.
                 waited += self.chaos.peer_timeout
                 timed_out += 1
+                if obs_on:
+                    self.obs.failover(
+                        now,
+                        server_id,
+                        page_id,
+                        target=f"peer:{peer_index}",
+                        reason="peer-down",
+                    )
                 continue
             policy = peer.policy
             if policy.contains(page_id) and policy.cached_version(page_id) == version:
                 self._record_peer_fetch(size, now)
+                if obs_on:
+                    self.obs.fetch(
+                        now, page_id, server_id, source=f"peer:{peer_index}"
+                    )
                 latency, degraded = self._degrade_transfer(
                     self.config.per_hop_latency * max(1.0, hops), server_id, now
                 )
@@ -173,6 +206,15 @@ class CooperativeSimulation(Simulation):
             return None
         extra_latency, degraded = resolution
         return waited + extra_latency, degraded or timed_out > 0
+
+    def _attach_observer(self) -> None:
+        super()._attach_observer()
+        profiler = self.obs.profiler
+        if profiler is not None:
+            # Instance-attribute shadowing, like ProxyServer.instrument.
+            self._peer_with_version = profiler.wrap(
+                self._peer_with_version, "coop.peer_lookup"
+            )
 
     def _collect(self, wall_seconds: float) -> SimulationResult:
         result = super()._collect(wall_seconds)
@@ -188,6 +230,7 @@ def run_cooperative_simulation(
     match_table: Optional[TraceMatchCounts] = None,
     topology: Optional[Topology] = None,
     fault_schedule: Optional[FaultSchedule] = None,
+    observer: Optional[Observer] = None,
 ) -> SimulationResult:
     """Convenience wrapper mirroring :func:`run_simulation`."""
     return CooperativeSimulation(
@@ -197,4 +240,5 @@ def run_cooperative_simulation(
         topology=topology,
         neighbor_count=neighbor_count,
         fault_schedule=fault_schedule,
+        observer=observer,
     ).run()

@@ -16,6 +16,25 @@ from typing import Dict, List, Optional
 from repro.cache.stats import CacheStats
 
 
+def dense_clamped(values_by_hour: Dict[int, float], hour_count: int) -> List[float]:
+    """Render a sparse per-hour dict as a dense ``hour_count``-long list.
+
+    Out-of-range hours are *clamped* into the boundary buckets instead
+    of being silently dropped: an event stamped at exactly the horizon
+    (hour index == ``hour_count``, e.g. a request whose backed-off
+    retry resolves right at the end of the run) lands in the final
+    bucket, so every dense series accounts for every event and all the
+    hourly lists share one length.
+    """
+    if hour_count <= 0:
+        return []
+    out = [0.0] * hour_count
+    last = hour_count - 1
+    for hour, amount in values_by_hour.items():
+        out[min(max(hour, 0), last)] += amount
+    return out
+
+
 @dataclass
 class HourlySeries:
     """A per-hour series stored sparsely and rendered densely."""
@@ -26,8 +45,13 @@ class HourlySeries:
         self.values_by_hour[hour] = self.values_by_hour.get(hour, 0.0) + amount
 
     def dense(self, hour_count: int) -> List[float]:
-        """Values for hours 0..hour_count-1, zero-filled."""
-        return [self.values_by_hour.get(hour, 0.0) for hour in range(hour_count)]
+        """Values for hours 0..hour_count-1, zero-filled.
+
+        Events recorded at or beyond ``hour_count`` (the horizon
+        boundary) are clamped into the final bucket rather than lost;
+        see :func:`dense_clamped`.
+        """
+        return dense_clamped(self.values_by_hour, hour_count)
 
 
 @dataclass
@@ -55,6 +79,11 @@ class SimulationResult:
     hourly_fetch_bytes: List[int]
     per_proxy: List[CacheStats] = field(default_factory=list, repr=False)
     wall_seconds: float = 0.0
+    #: Per-phase wall-time/call-count summary
+    #: (``{phase: {"calls": n, "seconds": s}}``) when the run was
+    #: observed with a profiler; ``None`` otherwise.  Excluded — like
+    #: ``wall_seconds`` — from bit-identity comparisons.
+    profile: Optional[Dict[str, Dict[str, float]]] = None
     #: Sum of modelled per-request response times (seconds).
     total_response_time: float = 0.0
     #: Misses served by a peer proxy (cooperative extension only).

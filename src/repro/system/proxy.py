@@ -74,6 +74,18 @@ class ProxyServer:
     def check_invariants(self) -> None:
         self.policy.check_invariants()
 
+    # -- observability -------------------------------------------------------
+
+    def instrument(self, profiler) -> None:
+        """Time this proxy's policy entry points under ``policy.*``.
+
+        ``profiler`` is a :class:`repro.obs.profile.Profiler`; the
+        timed wrappers shadow the bound methods as instance attributes
+        so uninstrumented proxies keep the plain class methods.
+        """
+        self.handle_publish = profiler.wrap(self.handle_publish, "policy.on_publish")
+        self.handle_request = profiler.wrap(self.handle_request, "policy.on_request")
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "up" if self.up else "down"
         return f"ProxyServer(id={self.server_id}, policy={self.policy.name}, {state})"

@@ -11,7 +11,10 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.obs.log import get_logger
 from repro.workload.trace import Workload
+
+logger = get_logger(__name__)
 
 
 class Publisher:
@@ -62,6 +65,7 @@ class Publisher:
             raise RuntimeError("publisher is already down")
         self.up = False
         self._down_since = now
+        logger.debug("publisher outage begins at t=%.1f", now)
 
     def come_back(self, now: float) -> None:
         """The origin is reachable again."""
@@ -71,6 +75,7 @@ class Publisher:
         if self._down_since is not None:
             self.outage_seconds += now - self._down_since
             self._down_since = None
+        logger.debug("publisher reachable again at t=%.1f", now)
 
     # -- traffic accounting ------------------------------------------------
 

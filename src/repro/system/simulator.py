@@ -48,18 +48,59 @@ from repro.faults.recovery import RecoveryTracker
 from repro.faults.schedule import FaultSchedule
 from repro.faults.spec import ChaosSpec
 from repro.network.topology import Topology, build_topology
+from repro.obs.log import get_logger
+from repro.obs.recorder import NULL_OBSERVER, Observer
 from repro.pubsub.matching import TraceMatchCounts
 from repro.sim.engine import Environment, NORMAL, URGENT
 from repro.sim.rng import RandomStreams
 from repro.system.config import PushingScheme, SimulationConfig
-from repro.system.metrics import SimulationResult
+from repro.system.metrics import SimulationResult, dense_clamped
 from repro.system.proxy import ProxyServer
 from repro.system.publisher import Publisher
 from repro.workload.subscriptions import build_match_counts
 from repro.workload.trace import Workload
 
+logger = get_logger(__name__)
+
 #: Safety cap on modelled retransmissions over one lossy transfer.
 _MAX_RETRANSMITS = 8
+
+
+def _outcome_kind(outcome) -> str:
+    """Trace-event kind for a RequestOutcome: hit, stale or miss."""
+    if outcome.hit:
+        return "hit"
+    if outcome.stale:
+        return "stale"
+    return "miss"
+
+
+def _storages_of(policy):
+    """Every CacheStorage a policy owns (directly or via a HeapCache)."""
+    from repro.cache.storage import CacheStorage
+    from repro.core._base import HeapCache
+
+    storages = []
+    for value in vars(policy).values():
+        if isinstance(value, HeapCache):
+            storages.append(value.storage)
+        elif isinstance(value, CacheStorage):
+            storages.append(value)
+    return storages
+
+
+def _heaps_of(policy):
+    """Every AddressableHeap a policy owns (directly or via a HeapCache)."""
+    from repro.cache.heap import AddressableHeap
+    from repro.core._base import HeapCache
+
+    heaps = []
+    for value in vars(policy).values():
+        if isinstance(value, HeapCache):
+            heaps.append(value.heap)
+        elif isinstance(value, AddressableHeap):
+            heaps.append(value)
+    return heaps
 
 
 class Simulation:
@@ -72,9 +113,19 @@ class Simulation:
         match_table: Optional[TraceMatchCounts] = None,
         topology: Optional[Topology] = None,
         fault_schedule: Optional[FaultSchedule] = None,
+        observer: Optional[Observer] = None,
     ) -> None:
         self.workload = workload
         self.config = config
+        # Observability is strictly read-only: hooks fire *after* each
+        # state transition and never touch RNG streams, so an observed
+        # run's SimulationResult (minus wall_seconds/profile) stays
+        # bit-identical to an unobserved one.
+        self.obs = observer if observer is not None else NULL_OBSERVER
+        self._obs_on = self.obs.enabled
+        #: Sim time of the handler currently running, for hooks (like
+        #: the eviction listener) that fire below the handler layer.
+        self._obs_now = 0.0
         streams = RandomStreams(config.seed)
         self._streams = streams
 
@@ -157,32 +208,60 @@ class Simulation:
         proxy = self.proxies[server_id]
         self._recovery.on_crash(server_id, now, proxy.stats.hit_ratio)
         proxy.crash(now)
+        if self._obs_on:
+            self.obs.crash(now, server_id)
 
     def on_proxy_recover(self, server_id: int, now: float) -> None:
         self.proxies[server_id].recover(now)
         self._recovery.on_recover(server_id, now)
+        if self._obs_on:
+            self.obs.restart(now, server_id)
 
     def on_publisher_outage(self, now: float) -> None:
         self.publisher.go_dark(now)
+        if self._obs_on:
+            self.obs.outage(now)
 
     def on_publisher_recover(self, now: float) -> None:
         self.publisher.come_back(now)
+        if self._obs_on:
+            self.obs.outage_end(now)
 
     # -- event handlers ---------------------------------------------------
 
     def _handle_publish(self, page_id: int, version: int, now: float) -> None:
+        obs_on = self._obs_on
         self.publisher.publish(page_id, version)
         size = self.publisher.page_size(page_id)
+        if obs_on:
+            self._obs_now = now
+            self.obs.publish(now, page_id, version, size)
         origin_down = self._faults_on and self.fault_schedule.publisher_down(now)
         for server_id, match_count in self._matches_by_page.get(page_id, ()):
             proxy = self.proxies[server_id]
+            if obs_on:
+                self.obs.match(now, page_id, server_id, match_count)
             if origin_down or not proxy.up:
                 # No distribution path: the origin cannot send, or the
                 # proxy cannot receive.  The page stays authoritative at
                 # the origin and is fetched on demand later.
                 self._pushes_suppressed += 1
+                if obs_on:
+                    self.obs.push_suppressed(
+                        now,
+                        page_id,
+                        server_id,
+                        "origin-down" if origin_down else "proxy-down",
+                    )
                 continue
+            if obs_on:
+                self.obs.push_offer(now, page_id, server_id)
             outcome = proxy.handle_publish(page_id, version, size, match_count, now)
+            if obs_on:
+                if outcome.stored:
+                    self.obs.push_accept(now, page_id, server_id, outcome.refreshed)
+                else:
+                    self.obs.push_reject(now, page_id, server_id)
             transferred = outcome.stored or (
                 self.config.pushing is PushingScheme.ALWAYS
                 and proxy.policy.uses_push
@@ -201,6 +280,10 @@ class Simulation:
         size = self.publisher.page_size(page_id)
         match_count = self.match_table.count_for(page_id, server_id)
         proxy = self.proxies[server_id]
+        obs_on = self._obs_on
+        if obs_on:
+            self._obs_now = now
+            self.obs.request(now, page_id, server_id)
         if self._faults_on:
             self._handle_request_faulty(
                 proxy, server_id, page_id, version, size, match_count, now
@@ -212,6 +295,12 @@ class Simulation:
                 self.publisher.record_fetch(page_id, now)
                 latency += self.config.per_hop_latency * proxy.policy.cost
             self._total_response_time += latency
+            if obs_on:
+                self.obs.request_outcome(
+                    now, page_id, server_id, _outcome_kind(outcome), latency
+                )
+                if not outcome.hit:
+                    self.obs.fetch(now, page_id, server_id)
         self._maybe_check_invariants()
 
     # -- degraded request handling -----------------------------------------
@@ -226,23 +315,37 @@ class Simulation:
         match_count: int,
         now: float,
     ) -> None:
+        obs_on = self._obs_on
         if not proxy.up:
             # The proxy is offline; its cache cannot answer.  The client
             # fails over directly to the origin at origin cost.
             self._note_unserved(now)
+            if obs_on:
+                self.obs.failover(
+                    now, server_id, page_id, target="origin", reason="proxy-down"
+                )
             resolution = self._origin_resolution(proxy, server_id, page_id, now)
             if resolution is None:
                 self._note_failed(now)
+                if obs_on:
+                    self.obs.failed(now, page_id, server_id)
                 return
             extra_latency, _degraded = resolution
             self._note_degraded(now)
-            self._total_response_time += self.config.hit_latency + extra_latency
+            latency = self.config.hit_latency + extra_latency
+            self._total_response_time += latency
+            if obs_on:
+                self.obs.request_outcome(now, page_id, server_id, "miss", latency)
             return
 
         if self._probe_hit(proxy, page_id, version):
             proxy.handle_request(page_id, version, size, match_count, now)
             self._recovery.on_request(server_id, hit=True, now=now)
             self._total_response_time += self.config.hit_latency
+            if obs_on:
+                self.obs.request_outcome(
+                    now, page_id, server_id, "hit", self.config.hit_latency
+                )
             return
 
         # Local miss: content must come from somewhere off-proxy.
@@ -252,13 +355,20 @@ class Simulation:
             # (the bytes never arrived at the proxy).
             self._note_unserved(now)
             self._note_failed(now)
+            if obs_on:
+                self.obs.failed(now, page_id, server_id)
             return
         extra_latency, degraded = resolution
-        proxy.handle_request(page_id, version, size, match_count, now)
+        outcome = proxy.handle_request(page_id, version, size, match_count, now)
         self._recovery.on_request(server_id, hit=False, now=now)
         if degraded:
             self._note_degraded(now)
-        self._total_response_time += self.config.hit_latency + extra_latency
+        latency = self.config.hit_latency + extra_latency
+        self._total_response_time += latency
+        if obs_on:
+            self.obs.request_outcome(
+                now, page_id, server_id, _outcome_kind(outcome), latency
+            )
 
     def _probe_hit(self, proxy: ProxyServer, page_id: int, version: int) -> bool:
         """Whether a request would be a fresh hit — without side effects.
@@ -291,14 +401,18 @@ class Simulation:
         self, proxy: ProxyServer, server_id: int, page_id: int, now: float
     ) -> Optional[Tuple[float, bool]]:
         """Fetch from the origin, retrying across an outage if needed."""
-        ok, waited = self._origin_wait(now)
+        ok, waited = self._origin_wait(now, server_id, page_id)
         if not ok:
             return None
         self.publisher.record_fetch(page_id, now)
+        if self._obs_on:
+            self.obs.fetch(now, page_id, server_id)
         fetch_latency, degraded = self._origin_fetch_latency(proxy, server_id, now)
         return waited + fetch_latency, degraded or waited > 0.0
 
-    def _origin_wait(self, now: float) -> Tuple[bool, float]:
+    def _origin_wait(
+        self, now: float, server_id: int, page_id: int
+    ) -> Tuple[bool, float]:
         """Backoff until the origin answers: (reachable?, seconds waited).
 
         The first attempt happens at ``now``; each retry doubles the
@@ -309,12 +423,15 @@ class Simulation:
         if not self.fault_schedule.publisher_down(now):
             return True, 0.0
         spec = self.chaos
+        obs_on = self._obs_on
         waited = 0.0
         at = now
         for attempt in range(spec.retry_limit):
             backoff = min(spec.retry_base * (2.0 ** attempt), spec.retry_cap)
             at += backoff
             waited += backoff
+            if obs_on:
+                self.obs.retry(now, page_id, server_id, attempt + 1, backoff)
             if not self.fault_schedule.publisher_down(at):
                 return True, waited
         return False, waited
@@ -378,46 +495,96 @@ class Simulation:
     def run(self) -> SimulationResult:
         """Replay the whole trace and collect the metrics."""
         started = time.perf_counter()
+        obs = self.obs
+        if self._obs_on:
+            logger.debug(
+                "run starts: strategy=%s trace=%s seed=%d",
+                self.config.strategy,
+                self.workload.label or "custom",
+                self.config.seed,
+            )
+            obs.run_start(
+                strategy=self.config.strategy,
+                trace=self.workload.label or "custom",
+                seed=self.config.seed,
+            )
+            self._attach_observer()
         env = Environment()
-        for event in self.workload.publishes:
-            env.schedule(
-                event.time,
-                lambda _env, p=event.page_id, v=event.version: self._handle_publish(
-                    p, v, _env.now
+        if self._obs_on and obs.profiler is not None:
+            env.profiler = obs.profiler
+        with obs.span("sim.schedule"):
+            for event in self.workload.publishes:
+                env.schedule(
+                    event.time,
+                    lambda _env, p=event.page_id, v=event.version: (
+                        self._handle_publish(p, v, _env.now)
+                    ),
+                    priority=URGENT,
+                )
+            for record in self.workload.requests:
+                env.schedule(
+                    record.time,
+                    lambda _env, s=record.server_id, p=record.page_id: (
+                        self._handle_request(s, p, _env.now)
+                    ),
+                    priority=NORMAL,
+                )
+            if self._faults_on:
+                FaultInjector(self.fault_schedule).install(env, self)
+        with obs.span("sim.run"):
+            env.run()
+        if self._obs_on:
+            obs.run_end(
+                env.now,
+                cache_used_bytes=sum(
+                    proxy.policy.used_bytes for proxy in self.proxies
                 ),
-                priority=URGENT,
             )
-        for record in self.workload.requests:
-            env.schedule(
-                record.time,
-                lambda _env, s=record.server_id, p=record.page_id: (
-                    self._handle_request(s, p, _env.now)
-                ),
-                priority=NORMAL,
+        with obs.span("sim.collect"):
+            return self._collect(time.perf_counter() - started)
+
+    def _attach_observer(self) -> None:
+        """Install per-proxy eviction/storage hooks and the profiler.
+
+        Called once per observed run; unobserved runs never reach this,
+        so policies and storages keep their no-op class-level hooks.
+        """
+        obs = self.obs
+        for proxy in self.proxies:
+            server_id = proxy.server_id
+            proxy.policy.evict_listener = (
+                lambda page_id, size, cause, _sid=server_id: obs.evict(
+                    self._obs_now, page_id, _sid, size, cause
+                )
             )
-        if self._faults_on:
-            FaultInjector(self.fault_schedule).install(env, self)
-        env.run()
-        return self._collect(time.perf_counter() - started)
+            for storage in _storages_of(proxy.policy):
+                storage.listener = lambda op, _entry: obs.cache_op(op)
+        profiler = obs.profiler
+        if profiler is not None:
+            for proxy in self.proxies:
+                proxy.instrument(profiler)
+                for heap in _heaps_of(proxy.policy):
+                    heap.instrument(profiler)
 
     def _collect(self, wall_seconds: float) -> SimulationResult:
         hour_count = int(self.workload.config.horizon // 3600.0) + 1
+        last_hour = hour_count - 1
         hourly_requests = [0] * hour_count
         hourly_hits = [0] * hour_count
+        # Hours at or beyond the horizon boundary (events stamped at
+        # exactly ``hour_count`` hours) clamp into the final bucket so
+        # no event is dropped; see ``metrics.dense_clamped``.
         for proxy in self.proxies:
             stats = proxy.stats
             for hour, count in stats.bucketed_requests.items():
-                if hour < hour_count:
-                    hourly_requests[hour] += count
+                hourly_requests[min(hour, last_hour)] += count
             for hour, count in stats.bucketed_hits.items():
-                if hour < hour_count:
-                    hourly_hits[hour] += count
+                hourly_hits[min(hour, last_hour)] += count
         for hour, count in self._unserved_by_hour.items():
-            if hour < hour_count:
-                hourly_requests[hour] += count
+            hourly_requests[min(hour, last_hour)] += count
 
         def dense(sparse: Dict[int, int]) -> List[int]:
-            return [int(sparse.get(hour, 0)) for hour in range(hour_count)]
+            return [int(v) for v in dense_clamped(sparse, hour_count)]
 
         total_requests = sum(proxy.stats.requests for proxy in self.proxies)
         total_requests += sum(self._unserved_by_hour.values())
@@ -465,6 +632,10 @@ class Simulation:
             result.recovery_curve_requests = report.curve_requests
             result.recovery_curve_hits = report.curve_hits
             result.recovery_bin_seconds = report.bin_seconds
+        if self._obs_on and self.obs.profiler is not None:
+            result.profile = self.obs.profiler.summary()
+        if self._obs_on:
+            logger.debug("run done: %s", result.summary())
         return result
 
 
@@ -474,8 +645,14 @@ def run_simulation(
     match_table: Optional[TraceMatchCounts] = None,
     topology: Optional[Topology] = None,
     fault_schedule: Optional[FaultSchedule] = None,
+    observer: Optional[Observer] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulation` and run it."""
     return Simulation(
-        workload, config, match_table, topology, fault_schedule=fault_schedule
+        workload,
+        config,
+        match_table,
+        topology,
+        fault_schedule=fault_schedule,
+        observer=observer,
     ).run()

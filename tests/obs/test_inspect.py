@@ -1,0 +1,82 @@
+"""The trace inspector on small hand-written traces."""
+
+import json
+
+import pytest
+
+from repro.obs.inspect import page_history, render_page_history, summarize_trace
+
+EVENTS = [
+    {"t": 0.0, "type": "run_start", "strategy": "sub", "seed": 7},
+    {"t": 10.0, "type": "publish", "page": 4, "version": 0, "size": 800},
+    {"t": 10.0, "type": "match", "page": 4, "proxy": 0, "matches": 3},
+    {"t": 10.0, "type": "push_offer", "page": 4, "proxy": 0},
+    {"t": 10.0, "type": "push_accept", "page": 4, "proxy": 0, "refreshed": False},
+    {"t": 20.0, "type": "request", "page": 4, "proxy": 0},
+    {"t": 20.0, "type": "hit", "page": 4, "proxy": 0, "latency": 0.01},
+    {"t": 30.0, "type": "request", "page": 5, "proxy": 1},
+    {"t": 30.0, "type": "miss", "page": 5, "proxy": 1, "latency": 0.09},
+    {"t": 30.0, "type": "fetch", "page": 5, "proxy": 1, "source": "origin"},
+    {"t": 40.0, "type": "evict", "page": 4, "proxy": 0, "size": 800, "cause": "capacity"},
+    {"t": 50.0, "type": "crash", "proxy": 1},
+    {"t": 55.0, "type": "failover", "page": 5, "proxy": 1, "target": "origin",
+     "reason": "proxy-down"},
+    {"t": 60.0, "type": "restart", "proxy": 1},
+    {"t": 99.0, "type": "run_end"},
+]
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text("".join(json.dumps(event) + "\n" for event in EVENTS))
+    return str(path)
+
+
+def test_summary_aggregates(trace_path):
+    summary = summarize_trace(trace_path)
+    assert summary.event_count == len(EVENTS)
+    assert summary.time_range == (0.0, 99.0)
+    assert summary.strategies == ["sub"]
+    assert summary.counts_by_type["request"] == 2
+    assert summary.counts_by_type["evict"] == 1
+    assert not summary.unknown_types
+    # Churn: page 4 gets publish+push_accept+evict, page 5 miss+fetch.
+    assert summary.churn_by_page[4] == 3
+    assert summary.churn_by_page[5] == 2
+    assert summary.eviction_causes == {"capacity": 1}
+    assert [event["type"] for event in summary.timeline] == [
+        "crash", "failover", "restart",
+    ]
+
+
+def test_summary_render(trace_path):
+    text = summarize_trace(trace_path).render(top=5)
+    assert "events   : 15" in text
+    assert "strategy : sub" in text
+    assert "page 4" in text
+    assert "capacity" in text
+    assert "fault/failover timeline" in text
+
+
+def test_unknown_types_are_reported(tmp_path):
+    path = tmp_path / "weird.jsonl"
+    path.write_text('{"t": 1.0, "type": "alien"}\n')
+    summary = summarize_trace(str(path))
+    assert summary.unknown_types == {"alien": 1}
+    assert "(not in taxonomy)" in summary.render()
+
+
+def test_page_history(trace_path):
+    events = page_history(trace_path, 4)
+    assert [event["type"] for event in events] == [
+        "publish", "match", "push_offer", "push_accept", "request", "hit", "evict",
+    ]
+    text = render_page_history(trace_path, 4)
+    assert "page 4: 7 events" in text
+    assert "cause=capacity" in text
+
+
+def test_page_history_empty(trace_path):
+    assert page_history(trace_path, 999) == []
+    assert "no events" in render_page_history(trace_path, 999)

@@ -1,0 +1,76 @@
+"""The profiler: spans, wrapped functions, summaries."""
+
+from repro.obs import NULL_SPAN, Profiler
+from repro.obs.profile import NullSpan
+
+
+def test_record_accumulates():
+    profiler = Profiler()
+    profiler.record("phase", 0.25)
+    profiler.record("phase", 0.75)
+    assert profiler.calls["phase"] == 2
+    assert profiler.seconds["phase"] == 1.0
+
+
+def test_span_times_block():
+    profiler = Profiler()
+    with profiler.span("work"):
+        pass
+    assert profiler.calls["work"] == 1
+    assert profiler.seconds["work"] >= 0.0
+
+
+def test_wrap_preserves_behaviour_and_counts_calls():
+    profiler = Profiler()
+
+    def add(a, b):
+        return a + b
+
+    timed = profiler.wrap(add, "math.add")
+    assert timed(2, 3) == 5
+    assert timed(b=4, a=1) == 5
+    assert timed.__wrapped__ is add
+    assert profiler.calls["math.add"] == 2
+
+
+def test_wrap_records_even_on_exception():
+    profiler = Profiler()
+
+    def boom():
+        raise RuntimeError("boom")
+
+    timed = profiler.wrap(boom, "boom")
+    try:
+        timed()
+    except RuntimeError:
+        pass
+    assert profiler.calls["boom"] == 1
+
+
+def test_summary_shape():
+    profiler = Profiler()
+    profiler.record("b", 0.5)
+    profiler.record("a", 0.25)
+    summary = profiler.summary()
+    assert list(summary) == ["a", "b"]  # sorted
+    assert summary["b"] == {"calls": 1, "seconds": 0.5}
+
+
+def test_render_sorts_slowest_first():
+    profiler = Profiler()
+    profiler.record("fast", 0.001)
+    profiler.record("slow", 1.0)
+    lines = profiler.render().splitlines()
+    assert "slow" in lines[1]
+    assert "fast" in lines[2]
+
+
+def test_render_empty():
+    assert Profiler().render() == "(no profile samples)"
+
+
+def test_null_span_is_inert():
+    with NULL_SPAN:
+        pass
+    with NullSpan():
+        pass

@@ -1,0 +1,125 @@
+"""The metrics registry: instruments, bucket edges, exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import DEFAULT_LATENCY_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13.0
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        # Prometheus semantics: a sample equal to a bound belongs to
+        # that bound's bucket (le = "less than or equal").
+        hist.observe(1.0)
+        hist.observe(1.5)
+        hist.observe(2.0)
+        hist.observe(4.0)
+        hist.observe(4.0001)  # lands in +Inf
+        assert hist.cumulative_counts() == [1, 3, 4, 5]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(12.5001)
+
+    def test_below_first_bucket(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        hist.observe(0.0)
+        hist.observe(-5.0)
+        assert hist.cumulative_counts() == [2, 2, 2]
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_default_buckets_strictly_increase(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(set(DEFAULT_LATENCY_BUCKETS))
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_x_total", "help text")
+        second = registry.counter("repro_x_total")
+        assert first is second
+        assert len(registry) == 1
+        assert "repro_x_total" in registry
+        assert registry.get("repro_x_total") is first
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_x")
+        with pytest.raises(ValueError):
+            registry.histogram("repro_x")
+
+    def test_histogram_bucket_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("repro_h", buckets=(1.0, 3.0))
+        # Same buckets: get-or-create succeeds.
+        registry.histogram("repro_h", buckets=(1.0, 2.0))
+
+    def test_invalid_name_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("9starts_with_digit")
+        with pytest.raises(ValueError):
+            registry.counter("has space")
+
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_requests_total", "requests seen").inc(7)
+        registry.gauge("repro_depth").set(2.5)
+        hist = registry.histogram("repro_latency_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(30.0)
+        text = registry.render_prometheus()
+        assert "# HELP repro_requests_total requests seen" in text
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_requests_total 7" in text  # integral: no ".0"
+        assert "repro_depth 2.5" in text
+        assert 'repro_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_latency_seconds_bucket{le="1"} 2' in text
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_latency_seconds_sum 30.55" in text
+        assert "repro_latency_seconds_count 3" in text
+        assert text.endswith("\n")
+
+    def test_json_rendering_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total").inc(3)
+        registry.histogram("repro_b", buckets=(1.0,)).observe(0.5)
+        payload = json.loads(registry.render_json())
+        assert payload["repro_a_total"] == {"type": "counter", "value": 3.0}
+        assert payload["repro_b"]["cumulative_counts"] == [1, 1]
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""

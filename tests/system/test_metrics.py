@@ -85,3 +85,35 @@ def test_mean_response_time():
 
 def test_summary_includes_response_time():
     assert "rt=" in make_result(total_response_time=2.0).summary()
+
+
+def test_hourly_series_clamps_horizon_boundary():
+    # An event landing at exactly hour_count (e.g. a backed-off retry
+    # resolving right at the end of the run) must not be dropped: it
+    # folds into the final bucket so all hourly lists share one length.
+    series = HourlySeries()
+    series.add(0, 1.0)
+    series.add(3, 7.0)  # == hour_count
+    series.add(5, 2.0)  # beyond the horizon
+    assert series.dense(3) == [1.0, 0.0, 9.0]
+
+
+def test_hourly_series_clamps_negative_hours():
+    series = HourlySeries()
+    series.add(-2, 4.0)
+    series.add(1, 1.0)
+    assert series.dense(2) == [4.0, 1.0]
+
+
+def test_hourly_series_empty_horizon():
+    series = HourlySeries()
+    series.add(0, 1.0)
+    assert series.dense(0) == []
+    assert series.dense(-1) == []
+
+
+def test_dense_clamped_matches_series():
+    from repro.system.metrics import dense_clamped
+
+    assert dense_clamped({0: 1.0, 9: 2.0}, 4) == [1.0, 0.0, 0.0, 2.0]
+    assert dense_clamped({}, 2) == [0.0, 0.0]

@@ -188,3 +188,115 @@ def test_seed_sweep_rejects_unknown_baseline(capsys):
     )
     assert code == 2
     assert "unknown strategy: wat" in capsys.readouterr().err
+
+
+def test_run_with_observability_flags(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    metrics = tmp_path / "metrics.prom"
+    code = main(
+        [
+            "run",
+            "--strategy", "sg2",
+            "--scale", "0.03",
+            "--seed", "3",
+            "--trace-out", str(trace),
+            "--metrics-out", str(metrics),
+            "--profile",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "H=" in out
+    assert "engine.step" in out  # the --profile table
+    metrics_text = metrics.read_text()
+    assert "# TYPE repro_requests_total counter" in metrics_text
+    assert "repro_request_latency_seconds_bucket" in metrics_text
+    from repro.obs import read_jsonl
+
+    events = read_jsonl(str(trace))
+    assert events[0]["type"] == "run_start"
+    assert events[-1]["type"] == "run_end"
+    assert any(event["type"] == "publish" for event in events)
+
+
+def test_run_without_observability_flags_writes_nothing(tmp_path, capsys):
+    code = main(["run", "--strategy", "sg2", "--scale", "0.03", "--seed", "3"])
+    assert code == 0
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_chaos_with_observability_flags(tmp_path, capsys):
+    trace = tmp_path / "chaos.jsonl"
+    metrics = tmp_path / "chaos.prom"
+    code = main(
+        [
+            "chaos",
+            "--strategies", "gdstar,sub",
+            "--scale", "0.03",
+            "--seed", "2",
+            "--trace-out", str(trace),
+            "--metrics-out", str(metrics),
+        ]
+    )
+    assert code == 0
+    from repro.obs import read_jsonl
+
+    events = read_jsonl(str(trace))
+    strategies = {event.get("strategy") for event in events} - {None}
+    assert strategies == {"gdstar", "sub"}
+    assert "repro_proxy_crashes_total" in metrics.read_text()
+
+
+def test_inspect_command(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    main(
+        [
+            "run",
+            "--strategy", "sub",
+            "--scale", "0.03",
+            "--seed", "3",
+            "--trace-out", str(trace),
+        ]
+    )
+    capsys.readouterr()
+    code = main(["inspect", str(trace), "--top", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "events by type:" in out
+    assert "strategy : sub" in out
+
+    from repro.obs import read_jsonl
+
+    first_page = next(
+        event["page"] for event in read_jsonl(str(trace)) if "page" in event
+    )
+    code = main(["inspect", str(trace), "--page", str(first_page)])
+    assert code == 0
+    assert f"page {first_page}:" in capsys.readouterr().out
+
+
+def test_inspect_missing_file(tmp_path, capsys):
+    code = main(["inspect", str(tmp_path / "nope.jsonl")])
+    assert code == 2
+    assert "no such trace file" in capsys.readouterr().err
+
+
+def test_inspect_malformed_file(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n")
+    code = main(["inspect", str(bad)])
+    assert code == 2
+    assert "malformed trace file" in capsys.readouterr().err
+
+
+def test_verbose_flag_logs_progress(capsys):
+    code = main(
+        ["run", "--strategy", "sg2", "--scale", "0.03", "--seed", "3", "-v"]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "repro.experiments.runner" in captured.err
+    # Reset so later tests are not noisy.
+    from repro.obs import setup_cli_logging
+
+    setup_cli_logging(0)
