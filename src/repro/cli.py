@@ -258,6 +258,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"invalid chaos parameter: {error}", file=sys.stderr)
         return 2
+    if not spec.injects_faults:
+        print(
+            "warning: the assembled ChaosSpec describes no faults "
+            "(every MTBF and delivery knob is zero/off); this run is "
+            "equivalent to a healthy one",
+            file=sys.stderr,
+        )
     observer = _make_observer(args)
     outcome = run_chaos(
         strategies=strategies,
@@ -321,6 +328,41 @@ def _build_chaos_spec(args: argparse.Namespace, base) -> "ChaosSpec":
         degraded_loss_probability=(
             args.loss if args.loss is not None else base.degraded_loss_probability
         ),
+        delivery_loss_probability=(
+            args.delivery_loss
+            if args.delivery_loss is not None
+            else base.delivery_loss_probability
+        ),
+        delivery_duplicate_probability=(
+            args.delivery_dup
+            if args.delivery_dup is not None
+            else base.delivery_duplicate_probability
+        ),
+        delivery_reorder_delay=(
+            args.delivery_reorder
+            if args.delivery_reorder is not None
+            else base.delivery_reorder_delay
+        ),
+        broker_mtbf=(
+            args.broker_mtbf if args.broker_mtbf is not None else base.broker_mtbf
+        ),
+        broker_mttr=(
+            args.broker_mttr if args.broker_mttr is not None else base.broker_mttr
+        ),
+        broker_count=(
+            args.broker_count if args.broker_count is not None else base.broker_count
+        ),
+        delivery_retry_limit=(
+            args.delivery_retries
+            if args.delivery_retries is not None
+            else base.delivery_retry_limit
+        ),
+        delivery_ack_timeout=(
+            args.delivery_ack_timeout
+            if args.delivery_ack_timeout is not None
+            else base.delivery_ack_timeout
+        ),
+        delivery_repair=(not args.no_repair) if args.no_repair else base.delivery_repair,
     )
 
 
@@ -491,6 +533,42 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument(
         "--loss", type=float, default=None,
         help="per-transfer loss probability on degraded links",
+    )
+    chaos_parser.add_argument(
+        "--delivery-loss", type=float, default=None,
+        help="per-notification loss probability on the push path",
+    )
+    chaos_parser.add_argument(
+        "--delivery-dup", type=float, default=None,
+        help="probability a delivered notification arrives twice",
+    )
+    chaos_parser.add_argument(
+        "--delivery-reorder", type=float, default=None,
+        help="max extra notification delay in seconds (reordering)",
+    )
+    chaos_parser.add_argument(
+        "--broker-mtbf", type=float, default=None,
+        help="mean seconds between broker-node crashes (0 disables)",
+    )
+    chaos_parser.add_argument(
+        "--broker-mttr", type=float, default=None,
+        help="mean broker-node downtime in seconds",
+    )
+    chaos_parser.add_argument(
+        "--broker-count", type=int, default=None,
+        help="broker shards on the push path (proxy s -> broker s %% count)",
+    )
+    chaos_parser.add_argument(
+        "--delivery-retries", type=int, default=None,
+        help="max retransmissions per lost notification (0 = fire and forget)",
+    )
+    chaos_parser.add_argument(
+        "--delivery-ack-timeout", type=float, default=None,
+        help="seconds before the first retransmission (doubles per attempt)",
+    )
+    chaos_parser.add_argument(
+        "--no-repair", action="store_true",
+        help="disable access-time staleness repair (silent-staleness baseline)",
     )
     _add_common(chaos_parser)
     _add_obs(chaos_parser)

@@ -118,6 +118,11 @@ def _render(outcome: ChaosResult, trace: str, capacity: float) -> str:
         "warm s",
         "unwarmed",
     ]
+    delivery_active = any(
+        result.notifications_sent > 0 for result in outcome.results.values()
+    )
+    if delivery_active:
+        columns += ["lost", "retrans", "stale srv", "repairs"]
     rows: Dict[str, List[Optional[float]]] = {}
     for strategy, result in outcome.results.items():
         rows[strategy] = [
@@ -129,6 +134,13 @@ def _render(outcome: ChaosResult, trace: str, capacity: float) -> str:
             result.mean_time_to_warm,
             float(result.unwarmed_recoveries),
         ]
+        if delivery_active:
+            rows[strategy] += [
+                float(result.notifications_lost),
+                float(result.notifications_retransmitted),
+                float(result.stale_hits_served),
+                float(result.repair_fetches),
+            ]
     parts = [
         render_table(
             f"Chaos — resilience by strategy ({trace.upper()}, "

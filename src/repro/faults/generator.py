@@ -1,8 +1,9 @@
 """Deterministic fault-schedule generation.
 
-Crash, outage and degradation processes are drawn from *dedicated*
-named streams of :class:`~repro.sim.rng.RandomStreams` ("faults.proxy",
-"faults.publisher", "faults.links"), so
+Crash, outage, degradation and broker-failure processes are drawn from
+*dedicated* named streams of :class:`~repro.sim.rng.RandomStreams`
+("faults.proxy", "faults.publisher", "faults.links",
+"faults.brokers"), so
 
 * the schedule is a pure function of the root seed and the
   :class:`~repro.faults.spec.ChaosSpec`, and
@@ -96,8 +97,19 @@ def generate_fault_schedule(
                     for window in windows
                 ]
 
+    broker_crashes = {}
+    if spec.broker_mtbf > 0.0:
+        rng = streams.stream("faults.brokers")
+        for broker_id in range(spec.broker_count):
+            windows = _alternating_windows(
+                rng, spec.broker_mtbf, spec.broker_mttr, horizon
+            )
+            if windows:
+                broker_crashes[broker_id] = windows
+
     return FaultSchedule(
         proxy_crashes=proxy_crashes,
         publisher_outages=publisher_outages,
         degraded_links=degraded_links,
+        broker_crashes=broker_crashes,
     )

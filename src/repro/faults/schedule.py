@@ -113,6 +113,7 @@ class FaultSchedule:
         proxy_crashes: Optional[Mapping[int, Sequence[Window]]] = None,
         publisher_outages: Sequence[Window] = (),
         degraded_links: Optional[Mapping[int, Sequence[DegradedWindow]]] = None,
+        broker_crashes: Optional[Mapping[int, Sequence[Window]]] = None,
     ) -> None:
         self._proxy: Dict[int, _Timeline] = {
             int(server): _Timeline(windows)
@@ -125,13 +126,28 @@ class FaultSchedule:
             for server, windows in (degraded_links or {}).items()
             if windows
         }
+        self._brokers: Dict[int, _Timeline] = {
+            int(broker): _Timeline(windows)
+            for broker, windows in (broker_crashes or {}).items()
+            if windows
+        }
 
     # -- queries -----------------------------------------------------------
 
     @property
     def empty(self) -> bool:
         """True when the schedule injects no fault at all."""
-        return not self._proxy and not len(self._publisher) and not self._links
+        return (
+            not self._proxy
+            and not len(self._publisher)
+            and not self._links
+            and not self._brokers
+        )
+
+    @property
+    def has_broker_faults(self) -> bool:
+        """Whether any broker node on the push path ever crashes."""
+        return bool(self._brokers)
 
     def proxy_down(self, server_id: int, at: float) -> bool:
         timeline = self._proxy.get(server_id)
@@ -143,6 +159,11 @@ class FaultSchedule:
     def publisher_back_at(self, at: float) -> float:
         """Earliest instant >= ``at`` with the publisher reachable."""
         return self._publisher.next_clear(at)
+
+    def broker_down(self, broker_id: int, at: float) -> bool:
+        """Whether push-path broker ``broker_id`` is down at ``at``."""
+        timeline = self._brokers.get(broker_id)
+        return timeline is not None and timeline.at(at) is not None
 
     def degradation(self, server_id: int, at: float) -> Optional[DegradedWindow]:
         """The degraded-link episode covering proxy ``server_id`` now."""
@@ -165,6 +186,14 @@ class FaultSchedule:
     def outage_windows(self) -> List[Window]:
         return list(self._publisher.windows)
 
+    def broker_crash_windows(self) -> List[Tuple[int, Window]]:
+        """All (broker_id, window) crash pairs, by broker then time."""
+        return [
+            (broker, window)
+            for broker in sorted(self._brokers)
+            for window in self._brokers[broker].windows
+        ]
+
     # -- summary stats -----------------------------------------------------
 
     @property
@@ -179,11 +208,20 @@ class FaultSchedule:
     def proxy_downtime_seconds(self) -> float:
         return sum(t.total_duration for t in self._proxy.values())
 
+    @property
+    def broker_crash_count(self) -> int:
+        return sum(len(timeline) for timeline in self._brokers.values())
+
+    @property
+    def broker_downtime_seconds(self) -> float:
+        return sum(t.total_duration for t in self._brokers.values())
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"FaultSchedule(crashes={self.crash_count}, "
             f"outages={len(self._publisher)}, "
-            f"degraded_links={sum(len(t) for t in self._links.values())})"
+            f"degraded_links={sum(len(t) for t in self._links.values())}, "
+            f"broker_crashes={self.broker_crash_count})"
         )
 
 

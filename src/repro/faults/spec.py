@@ -43,6 +43,51 @@ class ChaosSpec:
     #: costs one extra round trip (capped retransmissions).
     degraded_loss_probability: float = 0.0
 
+    # -- push-path delivery faults -----------------------------------------
+
+    #: Per-notification loss probability on the broker->proxy push path
+    #: (0 disables; the push path is then perfectly reliable, as the
+    #: paper assumes).  A lost notification is retransmitted after an
+    #: ack timeout — see the ``delivery_*`` protocol knobs below.
+    delivery_loss_probability: float = 0.0
+    #: Probability a successfully delivered notification arrives twice
+    #: (e.g. an ack lost on the way back); the proxy's duplicate
+    #: suppression absorbs the second copy.
+    delivery_duplicate_probability: float = 0.0
+    #: Upper bound (seconds) of a uniform extra delay added to each
+    #: delivered notification; nonzero delays let notifications arrive
+    #: out of order, exercising proxy-side gap detection.
+    delivery_reorder_delay: float = 0.0
+    #: Mean seconds between crashes of one broker node on the push
+    #: path (0 disables).  While a broker is down every notification
+    #: routed through it is lost and must be retransmitted.
+    broker_mtbf: float = 0.0
+    #: Mean downtime of a crashed broker node (seconds).
+    broker_mttr: float = 600.0
+    #: Number of broker nodes the push path is sharded over; proxy
+    #: ``s`` is served by broker ``s % broker_count``.
+    broker_count: int = 1
+
+    # -- reliable-delivery protocol ----------------------------------------
+
+    #: Maximum retransmissions of one lost notification (0 means fire
+    #: and forget: the first loss is permanent until access-time repair).
+    delivery_retry_limit: int = 4
+    #: Ack timeout before the first retransmission (seconds); doubles
+    #: per retransmission up to ``delivery_backoff_cap``.
+    delivery_ack_timeout: float = 1.0
+    #: Cap on a single retransmission backoff step (seconds).
+    delivery_backoff_cap: float = 30.0
+    #: Bound on concurrently pending retransmissions at the publisher;
+    #: when the queue is full a lost notification is abandoned instead
+    #: of queued (the overload-shedding path).
+    delivery_queue_limit: int = 1024
+    #: Access-time staleness repair: on a cache hit the proxy validates
+    #: the cached sequence number and repairs a missed push with an
+    #: origin fetch (repair traffic, not a miss).  ``False`` is the
+    #: no-protocol baseline that silently serves stale pages.
+    delivery_repair: bool = True
+
     # -- graceful degradation ------------------------------------------------
 
     #: Maximum origin-fetch retries while the publisher is down.
@@ -69,11 +114,23 @@ class ChaosSpec:
 
     @property
     def injects_faults(self) -> bool:
-        """Whether this spec can generate any fault window at all."""
+        """Whether this spec describes any fault at all."""
         return (
             self.proxy_mtbf > 0.0
             or self.publisher_mtbf > 0.0
             or self.degraded_mtbf > 0.0
+            or self.delivery_faulty
+        )
+
+    @property
+    def delivery_faulty(self) -> bool:
+        """Whether the push path itself can lose, duplicate or delay
+        notifications (any delivery-fault knob off its default)."""
+        return (
+            self.delivery_loss_probability > 0.0
+            or self.delivery_duplicate_probability > 0.0
+            or self.delivery_reorder_delay > 0.0
+            or self.broker_mtbf > 0.0
         )
 
     def __post_init__(self) -> None:
@@ -87,6 +144,11 @@ class ChaosSpec:
             "retry_base",
             "retry_cap",
             "peer_timeout",
+            "delivery_reorder_delay",
+            "broker_mtbf",
+            "broker_mttr",
+            "delivery_ack_timeout",
+            "delivery_backoff_cap",
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
@@ -106,6 +168,21 @@ class ChaosSpec:
             )
         if self.retry_limit < 0:
             raise ValueError(f"retry_limit must be >= 0, got {self.retry_limit}")
+        for name in ("delivery_loss_probability", "delivery_duplicate_probability"):
+            if not 0.0 <= getattr(self, name) < 1.0:
+                raise ValueError(
+                    f"{name} must be in [0, 1), got {getattr(self, name)}"
+                )
+        if self.broker_count < 1:
+            raise ValueError(f"broker_count must be >= 1, got {self.broker_count}")
+        if self.delivery_retry_limit < 0:
+            raise ValueError(
+                f"delivery_retry_limit must be >= 0, got {self.delivery_retry_limit}"
+            )
+        if self.delivery_queue_limit < 0:
+            raise ValueError(
+                f"delivery_queue_limit must be >= 0, got {self.delivery_queue_limit}"
+            )
         if self.warm_request_window < 1:
             raise ValueError(
                 f"warm_request_window must be >= 1, got {self.warm_request_window}"

@@ -16,13 +16,34 @@ from repro.obs.tracer import EVENT_TYPES, read_jsonl
 
 #: Event types rendered on the fault/failover timeline, in trace order.
 _TIMELINE_TYPES = frozenset(
-    {"crash", "restart", "outage", "outage_end", "failover", "retry", "failed"}
+    {
+        "crash",
+        "restart",
+        "outage",
+        "outage_end",
+        "failover",
+        "retry",
+        "failed",
+        "delivery_lost",
+        "delivery_retransmit",
+        "repair",
+    }
 )
 
 #: Per-page churn weighting: every one of these counts as one unit of
 #: "something happened to this page".
 _CHURN_TYPES = frozenset(
-    {"publish", "push_accept", "evict", "fetch", "peer_fetch", "miss", "stale"}
+    {
+        "publish",
+        "push_accept",
+        "evict",
+        "fetch",
+        "peer_fetch",
+        "miss",
+        "stale",
+        "repair",
+        "stale_served",
+    }
 )
 
 
@@ -80,7 +101,15 @@ class TraceSummary:
             for event in shown:
                 detail = " ".join(
                     f"{key}={event[key]}"
-                    for key in ("proxy", "page", "target", "reason", "attempt")
+                    for key in (
+                        "proxy",
+                        "page",
+                        "target",
+                        "reason",
+                        "attempt",
+                        "attempts",
+                        "age",
+                    )
                     if key in event
                 )
                 lines.append(f"  t={event['t']:>12.1f}  {event['type']:<12s} {detail}")

@@ -57,6 +57,27 @@ class Observer:
             self._c_failover = c("repro_failovers_total", "failover hops taken")
             self._c_retry = c("repro_retries_total", "origin retry attempts")
             self._c_failed = c("repro_failed_requests_total", "requests never served")
+            self._c_drop = c(
+                "repro_notification_drops_total", "notification sends lost"
+            )
+            self._c_retransmit = c(
+                "repro_notification_retransmits_total", "notification retransmissions"
+            )
+            self._c_lost = c(
+                "repro_notifications_lost_total", "notifications permanently lost"
+            )
+            self._c_dup = c(
+                "repro_duplicate_notifications_total", "duplicate deliveries suppressed"
+            )
+            self._c_gap = c(
+                "repro_delivery_gaps_total", "sequence gaps detected at proxies"
+            )
+            self._c_stale_served = c(
+                "repro_stale_served_total", "silently stale pages served"
+            )
+            self._c_repair = c(
+                "repro_repair_fetches_total", "access-time staleness repairs"
+            )
             self._c_evict = c("repro_evictions_total", "cache evictions")
             self._c_evict_bytes = c("repro_evicted_bytes_total", "bytes evicted")
             self._c_crash = c("repro_proxy_crashes_total", "proxy crash events")
@@ -196,6 +217,66 @@ class Observer:
             self._c_failed.inc()
         if self.tracer is not None:
             self.tracer.emit("failed", t, page=page, proxy=proxy)
+
+    # -- reliable delivery ----------------------------------------------------
+
+    def delivery_drop(self, t: float, page: int, proxy: int, reason: str) -> None:
+        """One notification send was lost (it may still be retransmitted)."""
+        if self.registry is not None:
+            self._c_drop.inc()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "delivery_drop", t, page=page, proxy=proxy, reason=reason
+            )
+
+    def delivery_retransmit(
+        self, t: float, page: int, proxy: int, attempts: int
+    ) -> None:
+        """A notification needed ``attempts - 1`` retransmissions."""
+        if self.registry is not None:
+            self._c_retransmit.inc(attempts - 1)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "delivery_retransmit", t, page=page, proxy=proxy, attempts=attempts
+            )
+
+    def delivery_lost(self, t: float, page: int, proxy: int, reason: str) -> None:
+        """A notification was abandoned: the proxy will stay stale until
+        repair."""
+        if self.registry is not None:
+            self._c_lost.inc()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "delivery_lost", t, page=page, proxy=proxy, reason=reason
+            )
+
+    def delivery_dup(self, t: float, page: int, proxy: int) -> None:
+        if self.registry is not None:
+            self._c_dup.inc()
+        if self.tracer is not None:
+            self.tracer.emit("delivery_dup", t, page=page, proxy=proxy)
+
+    def delivery_gap(self, t: float, page: int, proxy: int, sequence: int) -> None:
+        if self.registry is not None:
+            self._c_gap.inc()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "delivery_gap", t, page=page, proxy=proxy, sequence=sequence
+            )
+
+    def stale_served(self, t: float, page: int, proxy: int, age: float) -> None:
+        """A silently stale page was served as if fresh (no repair)."""
+        if self.registry is not None:
+            self._c_stale_served.inc()
+        if self.tracer is not None:
+            self.tracer.emit("stale_served", t, page=page, proxy=proxy, age=age)
+
+    def repair(self, t: float, page: int, proxy: int, age: float) -> None:
+        """Access-time validation caught a missed push; origin repair."""
+        if self.registry is not None:
+            self._c_repair.inc()
+        if self.tracer is not None:
+            self.tracer.emit("repair", t, page=page, proxy=proxy, age=age)
 
     # -- cache churn -----------------------------------------------------------
 

@@ -43,6 +43,14 @@ EVENT_TYPES = frozenset(
         "failover",
         "retry",
         "failed",
+        # reliable delivery (push-path loss/retransmit/repair)
+        "delivery_drop",
+        "delivery_retransmit",
+        "delivery_lost",
+        "delivery_dup",
+        "delivery_gap",
+        "stale_served",
+        "repair",
         # cache churn
         "evict",
         # component faults

@@ -61,6 +61,10 @@ class Broker:
                     size=page.size,
                     published_at=at,
                     match_count=counts[proxy_index],
+                    # Publisher-stamped per-page sequence number; the
+                    # reliable-delivery layer keys duplicate suppression
+                    # and gap detection off it.
+                    sequence=version_number,
                 )
                 self.routing.deliver(notification, [proxy_index])
                 self.notification_count += 1

@@ -142,6 +142,28 @@ class BrokerTree:
             current = current.parent
         return messages
 
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Remove ``subscription`` from its leaf broker.
+
+        Only the leaf copy is removed.  The aggregated interest copies
+        forwarded upward stay in place, and so do the ``_forwarded``
+        covering markers: in Siena-style covering, an upward unadvertise
+        would require reference counting every covered interest along
+        the path, so hierarchical brokers let aggregated interests go
+        *stale* instead.  The consequences, which the equivalence tests
+        pin down:
+
+        * per-proxy match counts stay exact — leaf delivery counts only
+          the leaf engine's own subscriptions, and a stale upstream
+          entry routes publications toward a branch where no leaf
+          subscription matches any more (wasted descent, not a wrong
+          count);
+        * a later resubscribe of the same predicate set is covered and
+          costs zero control messages.
+        """
+        broker = self.broker_for_proxy(subscription.proxy_id)
+        broker.engine.unsubscribe(subscription)
+
     # -- flow 2+3: publish, match hop by hop, notify ------------------------
 
     def match_counts(self, page: Page) -> Dict[int, int]:

@@ -93,9 +93,16 @@ class Notification:
     size: int
     published_at: float
     match_count: int = field(default=0)
+    #: Per-page sequence number stamped by the publisher.  Receivers
+    #: use it for duplicate suppression and gap detection over an
+    #: unreliable push path; it defaults to ``version`` (the publisher
+    #: increments both in lock-step).
+    sequence: int = field(default=-1)
 
     def __post_init__(self) -> None:
         if self.match_count < 0:
             raise ValueError(
                 f"match_count must be >= 0, got {self.match_count}"
             )
+        if self.sequence < 0:
+            object.__setattr__(self, "sequence", self.version)

@@ -120,6 +120,44 @@ class SimulationResult:
     recovery_curve_hits: List[int] = field(default_factory=list)
     recovery_bin_seconds: float = 0.0
 
+    # -- reliable-delivery metrics (all zero on a healthy run) -------------
+
+    #: Notifications the publisher attempted to push (one per matched
+    #: proxy per publication, origin-up only).
+    notifications_sent: int = 0
+    #: Notifications that reached their proxy (possibly retransmitted).
+    notifications_delivered: int = 0
+    #: Notifications abandoned: retries exhausted, queue overflow, or
+    #: the copy arrived at a crashed proxy.
+    notifications_lost: int = 0
+    #: Individual sends that were lost (a retransmitted-then-delivered
+    #: notification contributes its per-attempt losses here).
+    notification_loss_events: int = 0
+    #: Retransmission sends performed beyond first transmissions.
+    notifications_retransmitted: int = 0
+    #: Duplicate arrivals suppressed by proxy sequence tracking.
+    duplicate_notifications: int = 0
+    #: Sequence gaps detected at proxies (a missed earlier version).
+    delivery_gaps_detected: int = 0
+    #: Losses abandoned because the retransmit queue was full.
+    retransmit_queue_overflows: int = 0
+    #: Requests answered with a silently stale copy the proxy believed
+    #: current (no-repair baseline, or repair with the origin down).
+    stale_hits_served: int = 0
+    #: Access-time sequence validations performed (repair enabled).
+    staleness_validations: int = 0
+    #: Missed pushes healed by an access-time origin fetch.
+    repair_fetches: int = 0
+    repair_bytes: int = 0
+    hourly_stale_served: List[int] = field(default_factory=list)
+    hourly_repair_pages: List[int] = field(default_factory=list)
+    hourly_repair_bytes: List[int] = field(default_factory=list)
+    #: Staleness-age histogram over served/repaired stale copies:
+    #: ``counts[i]`` samples with age <= ``edges[i]`` (last bin is the
+    #: overflow beyond the final edge, so len(counts) == len(edges)+1).
+    staleness_age_bin_edges: List[float] = field(default_factory=list)
+    staleness_age_counts: List[int] = field(default_factory=list)
+
     @property
     def hit_ratio(self) -> float:
         """Global H (eq. 8), in [0, 1]."""
@@ -189,6 +227,20 @@ class SimulationResult:
             )
         ]
 
+    @property
+    def notification_delivery_ratio(self) -> float:
+        """Delivered over sent notifications; 1.0 with no delivery faults."""
+        if self.notifications_sent == 0:
+            return 1.0
+        return self.notifications_delivered / self.notifications_sent
+
+    @property
+    def stale_served_ratio(self) -> float:
+        """Fraction of requests answered with a silently stale copy."""
+        if self.requests == 0:
+            return 0.0
+        return self.stale_hits_served / self.requests
+
     def hourly_hit_ratio(self) -> List[float]:
         """H per hour (Fig. 6); hours without requests yield 0.0."""
         ratios = []
@@ -226,5 +278,13 @@ class SimulationResult:
                 f" | avail={self.availability:.2%} "
                 f"failed={self.failed_requests} degraded={self.degraded_requests} "
                 f"crashes={self.proxy_crashes} warm={warm_text}"
+            )
+        if self.notification_loss_events or self.notifications_lost:
+            text += (
+                f" | delivery={self.notification_delivery_ratio:.2%} "
+                f"lost={self.notifications_lost} "
+                f"retrans={self.notifications_retransmitted} "
+                f"stale_served={self.stale_hits_served} "
+                f"repairs={self.repair_fetches}"
             )
         return text

@@ -9,7 +9,7 @@ demand fetches, per hour — the data behind Fig. 7.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.obs.log import get_logger
 from repro.workload.trace import Workload
@@ -39,11 +39,20 @@ class Publisher:
         self.push_bytes_by_hour: Dict[int, int] = {}
         self.fetch_pages_by_hour: Dict[int, int] = {}
         self.fetch_bytes_by_hour: Dict[int, int] = {}
+        #: Staleness-repair traffic (access-time validation caught a
+        #: missed push) — kept apart from demand fetches so the repair
+        #: cost of an unreliable push path is visible on its own.
+        self.repair_pages_by_hour: Dict[int, int] = {}
+        self.repair_bytes_by_hour: Dict[int, int] = {}
+        #: Per-page publication instants, indexed by version — the data
+        #: behind staleness-age measurements ("how old was the copy a
+        #: proxy served or repaired?").
+        self._publish_times: Dict[int, List[float]] = {}
 
     def page_size(self, page_id: int) -> int:
         return self._sizes[page_id]
 
-    def publish(self, page_id: int, version: int) -> None:
+    def publish(self, page_id: int, version: int, at: float = 0.0) -> None:
         """Record that ``version`` of ``page_id`` is now current."""
         previous = self._versions.get(page_id, -1)
         if version != previous + 1:
@@ -52,6 +61,19 @@ class Publisher:
                 f"got version {version} after {previous}"
             )
         self._versions[page_id] = version
+        self._publish_times.setdefault(page_id, []).append(at)
+
+    def staleness_age(self, page_id: int, cached_version: int, now: float) -> float:
+        """Seconds since a copy at ``cached_version`` first went stale.
+
+        The copy went stale the instant version ``cached_version + 1``
+        was published; returns 0.0 when the copy is in fact current.
+        """
+        times = self._publish_times.get(page_id, [])
+        next_version = cached_version + 1
+        if next_version >= len(times):
+            return 0.0
+        return max(0.0, now - times[next_version])
 
     def current_version(self, page_id: int) -> Optional[int]:
         """Latest version of ``page_id``, or None if never published."""
@@ -93,6 +115,15 @@ class Publisher:
         self.fetch_pages_by_hour[hour] = self.fetch_pages_by_hour.get(hour, 0) + 1
         self.fetch_bytes_by_hour[hour] = self.fetch_bytes_by_hour.get(hour, 0) + size
 
+    def record_repair(self, page_id: int, at: float) -> None:
+        """One staleness-repair fetch served (missed push healed)."""
+        hour = int(at // 3600.0)
+        size = self._sizes[page_id]
+        self.repair_pages_by_hour[hour] = self.repair_pages_by_hour.get(hour, 0) + 1
+        self.repair_bytes_by_hour[hour] = (
+            self.repair_bytes_by_hour.get(hour, 0) + size
+        )
+
     @property
     def total_push_pages(self) -> int:
         return sum(self.push_pages_by_hour.values())
@@ -108,3 +139,11 @@ class Publisher:
     @property
     def total_fetch_bytes(self) -> int:
         return sum(self.fetch_bytes_by_hour.values())
+
+    @property
+    def total_repair_pages(self) -> int:
+        return sum(self.repair_pages_by_hour.values())
+
+    @property
+    def total_repair_bytes(self) -> int:
+        return sum(self.repair_bytes_by_hour.values())

@@ -30,6 +30,19 @@ success:
 * degraded links multiply fetch latency and may lose transfers, each
   loss costing one extra round trip.
 
+With *delivery* faults configured as well, the push path itself stops
+being reliable: notifications can be lost, duplicated, delayed out of
+order, or routed through a crashed broker shard.  The publisher then
+runs the reliable-delivery protocol of :mod:`repro.system.delivery`
+(sequence numbers, ack-timeout retransmission with capped exponential
+backoff, a bounded retransmit queue), proxies suppress duplicates and
+detect gaps with a :class:`~repro.pubsub.routing.SequenceTracker`, and
+the request path performs lazy **staleness repair**: a cache hit whose
+copy the proxy wrongly believes current is caught by an access-time
+sequence validation and healed with an origin fetch, counted as repair
+traffic rather than a miss.  With repair disabled the proxy silently
+serves the stale copy — the measurable no-protocol baseline.
+
 Requests the policies never see (failover and failures) are tallied
 separately and merged into the request totals at collection time, so
 hit ratio, availability and the hourly series all share one
@@ -51,9 +64,15 @@ from repro.network.topology import Topology, build_topology
 from repro.obs.log import get_logger
 from repro.obs.recorder import NULL_OBSERVER, Observer
 from repro.pubsub.matching import TraceMatchCounts
+from repro.pubsub.routing import SequenceTracker
 from repro.sim.engine import Environment, NORMAL, URGENT
 from repro.sim.rng import RandomStreams
 from repro.system.config import PushingScheme, SimulationConfig
+from repro.system.delivery import (
+    STALENESS_AGE_BIN_EDGES,
+    ReliableDelivery,
+    staleness_age_bin,
+)
 from repro.system.metrics import SimulationResult, dense_clamped
 from repro.system.proxy import ProxyServer
 from repro.system.publisher import Publisher
@@ -202,12 +221,48 @@ class Simulation:
         self._unserved_by_hour: Dict[int, int] = {}
         self._pushes_suppressed = 0
 
+        # -- reliable-delivery layer ---------------------------------------
+        # Engaged only when the push path itself can fail; with every
+        # delivery knob at its default this block allocates nothing and
+        # the publish path below takes exactly the synchronous route,
+        # preserving bit-identity (the "faults.delivery" stream is
+        # never even derived).
+        self._delivery_on = self._faults_on and (
+            self.chaos.delivery_faulty or self.fault_schedule.has_broker_faults
+        )
+        self._delivery: Optional[ReliableDelivery] = None
+        self._seq_trackers: List[SequenceTracker] = []
+        if self._delivery_on:
+            self._delivery = ReliableDelivery(
+                self.chaos,
+                self.fault_schedule,
+                streams.stream("faults.delivery"),
+            )
+            self._seq_trackers = [SequenceTracker() for _ in self.proxies]
+        self._env: Optional[Environment] = None
+        self._notifications_sent = 0
+        self._notifications_delivered = 0
+        self._notifications_lost = 0
+        self._notification_loss_events = 0
+        self._notifications_retransmitted = 0
+        self._retransmit_queue_overflows = 0
+        self._stale_hits_served = 0
+        self._staleness_validations = 0
+        self._stale_served_by_hour: Dict[int, int] = {}
+        self._staleness_age_counts = [0] * (len(STALENESS_AGE_BIN_EDGES) + 1)
+
     # -- fault hooks (called by the FaultInjector) --------------------------
 
     def on_proxy_crash(self, server_id: int, now: float) -> None:
         proxy = self.proxies[server_id]
         self._recovery.on_crash(server_id, now, proxy.stats.hit_ratio)
         proxy.crash(now)
+        if self._delivery_on:
+            # Cold restart: sequence state is in-memory too, so the
+            # restarted proxy re-learns versions from scratch (its first
+            # post-recovery delivery of a re-published page shows up as
+            # a detected gap).
+            self._seq_trackers[server_id].reset()
         if self._obs_on:
             self.obs.crash(now, server_id)
 
@@ -231,20 +286,24 @@ class Simulation:
 
     def _handle_publish(self, page_id: int, version: int, now: float) -> None:
         obs_on = self._obs_on
-        self.publisher.publish(page_id, version)
+        self.publisher.publish(page_id, version, now)
         size = self.publisher.page_size(page_id)
         if obs_on:
             self._obs_now = now
             self.obs.publish(now, page_id, version, size)
         origin_down = self._faults_on and self.fault_schedule.publisher_down(now)
+        delivery_on = self._delivery_on
         for server_id, match_count in self._matches_by_page.get(page_id, ()):
             proxy = self.proxies[server_id]
             if obs_on:
                 self.obs.match(now, page_id, server_id, match_count)
-            if origin_down or not proxy.up:
+            if origin_down or (not delivery_on and not proxy.up):
                 # No distribution path: the origin cannot send, or the
                 # proxy cannot receive.  The page stays authoritative at
-                # the origin and is fetched on demand later.
+                # the origin and is fetched on demand later.  (With the
+                # delivery protocol engaged, a down *proxy* is instead
+                # the protocol's problem: sends fail while it is down
+                # and a retransmission may land after recovery.)
                 self._pushes_suppressed += 1
                 if obs_on:
                     self.obs.push_suppressed(
@@ -253,6 +312,11 @@ class Simulation:
                         server_id,
                         "origin-down" if origin_down else "proxy-down",
                     )
+                continue
+            if delivery_on:
+                self._send_notification(
+                    server_id, page_id, version, size, match_count, now
+                )
                 continue
             if obs_on:
                 self.obs.push_offer(now, page_id, server_id)
@@ -268,6 +332,129 @@ class Simulation:
             )
             if transferred:
                 self.publisher.record_push_transfer(page_id, now)
+        self._maybe_check_invariants()
+
+    # -- reliable delivery ---------------------------------------------------
+
+    def _send_notification(
+        self,
+        server_id: int,
+        page_id: int,
+        version: int,
+        size: int,
+        match_count: int,
+        now: float,
+    ) -> None:
+        """Push one notification through the unreliable delivery layer.
+
+        The retransmission protocol is resolved analytically against
+        the fault schedule (:meth:`ReliableDelivery.plan`); surviving
+        copies are scheduled as DES arrival events at the planned time.
+        """
+        obs_on = self._obs_on
+        plan = self._delivery.plan(server_id, now)
+        self._notifications_sent += 1
+        self._notification_loss_events += plan.loss_events
+        self._notifications_retransmitted += plan.retransmissions
+        if obs_on:
+            for _ in range(plan.loss_events):
+                self.obs.delivery_drop(now, page_id, server_id, "push-path")
+            if plan.retransmissions:
+                self.obs.delivery_retransmit(now, page_id, server_id, plan.attempts)
+        if plan.queue_overflow:
+            self._retransmit_queue_overflows += 1
+        if not plan.delivered:
+            self._notifications_lost += 1
+            if obs_on:
+                reason = (
+                    "queue-overflow" if plan.queue_overflow else "retries-exhausted"
+                )
+                self.obs.delivery_lost(now, page_id, server_id, reason)
+            return
+        self._schedule_arrival(
+            server_id, page_id, version, size, match_count, now, plan.arrival_time
+        )
+        if plan.duplicate_time is not None:
+            self._schedule_arrival(
+                server_id,
+                page_id,
+                version,
+                size,
+                match_count,
+                now,
+                plan.duplicate_time,
+            )
+
+    def _schedule_arrival(
+        self,
+        server_id: int,
+        page_id: int,
+        version: int,
+        size: int,
+        match_count: int,
+        now: float,
+        at: float,
+    ) -> None:
+        if at <= now:
+            # Undelayed delivery happens inside the publish handler,
+            # exactly like the reliable (healthy) push path.
+            self._deliver_notification(
+                server_id, page_id, version, size, match_count, now
+            )
+            return
+        self._env.schedule(
+            at,
+            lambda _env, s=server_id, p=page_id, v=version, z=size, m=match_count: (
+                self._deliver_notification(s, p, v, z, m, _env.now)
+            ),
+            priority=URGENT,
+        )
+
+    def _deliver_notification(
+        self,
+        server_id: int,
+        page_id: int,
+        version: int,
+        size: int,
+        match_count: int,
+        t: float,
+    ) -> None:
+        """One notification copy reaches the proxy at time ``t``."""
+        obs_on = self._obs_on
+        if obs_on:
+            self._obs_now = t
+        proxy = self.proxies[server_id]
+        if not proxy.up:
+            # A reorder-delayed copy arrived while the proxy is down;
+            # nothing receives it.
+            self._notifications_lost += 1
+            if obs_on:
+                self.obs.delivery_lost(t, page_id, server_id, "proxy-down")
+            return
+        tracker = self._seq_trackers[server_id]
+        kind = tracker.observe(page_id, version)
+        if kind == "duplicate":
+            # A retransmission racing its ack, or a late reordered copy
+            # of an old version: suppressed before it touches the cache.
+            if obs_on:
+                self.obs.delivery_dup(t, page_id, server_id)
+            return
+        self._notifications_delivered += 1
+        if kind == "gap" and obs_on:
+            self.obs.delivery_gap(t, page_id, server_id, version)
+        if obs_on:
+            self.obs.push_offer(t, page_id, server_id)
+        outcome = proxy.handle_publish(page_id, version, size, match_count, t)
+        if obs_on:
+            if outcome.stored:
+                self.obs.push_accept(t, page_id, server_id, outcome.refreshed)
+            else:
+                self.obs.push_reject(t, page_id, server_id)
+        transferred = outcome.stored or (
+            self.config.pushing is PushingScheme.ALWAYS and proxy.policy.uses_push
+        )
+        if transferred:
+            self.publisher.record_push_transfer(page_id, t)
         self._maybe_check_invariants()
 
     def _handle_request(self, server_id: int, page_id: int, now: float) -> None:
@@ -338,7 +525,15 @@ class Simulation:
                 self.obs.request_outcome(now, page_id, server_id, "miss", latency)
             return
 
+        if self._delivery_on and self._silently_stale_path(
+            proxy, server_id, page_id, version, size, match_count, now
+        ):
+            return
+
         if self._probe_hit(proxy, page_id, version):
+            if self._delivery_on and self.chaos.delivery_repair:
+                # Access-time validation ran and confirmed freshness.
+                self._staleness_validations += 1
             proxy.handle_request(page_id, version, size, match_count, now)
             self._recovery.on_request(server_id, hit=True, now=now)
             self._total_response_time += self.config.hit_latency
@@ -360,6 +555,9 @@ class Simulation:
             return
         extra_latency, degraded = resolution
         outcome = proxy.handle_request(page_id, version, size, match_count, now)
+        if self._delivery_on:
+            # The fetch taught the proxy the current version.
+            self._seq_trackers[server_id].learn(page_id, version)
         self._recovery.on_request(server_id, hit=False, now=now)
         if degraded:
             self._note_degraded(now)
@@ -369,6 +567,112 @@ class Simulation:
             self.obs.request_outcome(
                 now, page_id, server_id, _outcome_kind(outcome), latency
             )
+
+    def _silently_stale_path(
+        self,
+        proxy: ProxyServer,
+        server_id: int,
+        page_id: int,
+        version: int,
+        size: int,
+        match_count: int,
+        now: float,
+    ) -> bool:
+        """Handle a request whose proxy *believes* its copy is current.
+
+        Returns True when the request was fully handled here: the cached
+        copy is stale but the proxy never learned of the newer version
+        (the notification was lost).  With staleness repair enabled the
+        access-time validation catches the miss and heals it with an
+        origin fetch (repair traffic); without it the proxy serves the
+        stale copy as a perfectly ordinary hit — silently wrong.
+
+        Returns False when the oracle view and the proxy's view agree
+        (fresh copy, known-stale copy, or page not cached) and the
+        ordinary request path should proceed.
+        """
+        policy = proxy.policy
+        if not policy.contains(page_id):
+            return False
+        cached = policy.cached_version(page_id)
+        if cached is None or cached == version:
+            return False
+        known = self._seq_trackers[server_id].last_seen(page_id)
+        if known is not None and known > cached:
+            # A delivered notification already told the proxy a newer
+            # version exists (the policy just declined to store it):
+            # the ordinary stale-miss path applies.
+            return False
+        obs_on = self._obs_on
+        age = self.publisher.staleness_age(page_id, cached, now)
+        if not self.chaos.delivery_repair:
+            # No-protocol baseline: the stale copy is served as a hit.
+            self._serve_stale(
+                proxy, server_id, page_id, cached, size, match_count, now, age, 0.0
+            )
+            return True
+        # Validation detected the missed push; repair from the origin.
+        self._staleness_validations += 1
+        ok, waited = self._origin_wait(now, server_id, page_id)
+        if not ok:
+            # Origin unreachable and retries exhausted: degrade to
+            # serving the stale copy rather than failing the request.
+            self._serve_stale(
+                proxy, server_id, page_id, cached, size, match_count, now, age, waited
+            )
+            self._note_degraded(now)
+            return True
+        self.publisher.record_repair(page_id, now)
+        if obs_on:
+            self.obs.repair(now, page_id, server_id, age)
+        self._sample_staleness_age(age)
+        fetch_latency, degraded = self._origin_fetch_latency(proxy, server_id, now)
+        proxy.handle_request(page_id, version, size, match_count, now)
+        self._seq_trackers[server_id].learn(page_id, version)
+        self._recovery.on_request(server_id, hit=False, now=now)
+        if degraded or waited > 0.0:
+            self._note_degraded(now)
+        latency = self.config.hit_latency + waited + fetch_latency
+        self._total_response_time += latency
+        if obs_on:
+            self.obs.request_outcome(now, page_id, server_id, "stale", latency)
+        return True
+
+    def _serve_stale(
+        self,
+        proxy: ProxyServer,
+        server_id: int,
+        page_id: int,
+        cached_version: int,
+        size: int,
+        match_count: int,
+        now: float,
+        age: float,
+        waited: float,
+    ) -> None:
+        """Serve the proxy's believed-current (actually stale) copy.
+
+        The policy is asked for the *cached* version, so it records a
+        plain hit — from the proxy's point of view nothing is wrong.
+        The simulator keeps the oracle's books: one silently stale
+        response, with its staleness age.
+        """
+        proxy.handle_request(page_id, cached_version, size, match_count, now)
+        self._recovery.on_request(server_id, hit=True, now=now)
+        self._stale_hits_served += 1
+        hour = int(now // 3600.0)
+        self._stale_served_by_hour[hour] = (
+            self._stale_served_by_hour.get(hour, 0) + 1
+        )
+        self._sample_staleness_age(age)
+        latency = self.config.hit_latency + waited
+        self._total_response_time += latency
+        if self._obs_on:
+            self.obs.stale_served(now, page_id, server_id, age)
+            self.obs.request_outcome(now, page_id, server_id, "hit", latency)
+
+    def _sample_staleness_age(self, age: float) -> None:
+        self._staleness_age_counts[staleness_age_bin(age)] += 1
 
     def _probe_hit(self, proxy: ProxyServer, page_id: int, version: int) -> bool:
         """Whether a request would be a fresh hit — without side effects.
@@ -510,6 +814,7 @@ class Simulation:
             )
             self._attach_observer()
         env = Environment()
+        self._env = env
         if self._obs_on and obs.profiler is not None:
             env.profiler = obs.profiler
         with obs.span("sim.schedule"):
@@ -632,6 +937,27 @@ class Simulation:
             result.recovery_curve_requests = report.curve_requests
             result.recovery_curve_hits = report.curve_hits
             result.recovery_bin_seconds = report.bin_seconds
+            result.notifications_sent = self._notifications_sent
+            result.notifications_delivered = self._notifications_delivered
+            result.notifications_lost = self._notifications_lost
+            result.notification_loss_events = self._notification_loss_events
+            result.notifications_retransmitted = self._notifications_retransmitted
+            result.duplicate_notifications = sum(
+                tracker.duplicates for tracker in self._seq_trackers
+            )
+            result.delivery_gaps_detected = sum(
+                tracker.gaps for tracker in self._seq_trackers
+            )
+            result.retransmit_queue_overflows = self._retransmit_queue_overflows
+            result.stale_hits_served = self._stale_hits_served
+            result.staleness_validations = self._staleness_validations
+            result.repair_fetches = self.publisher.total_repair_pages
+            result.repair_bytes = self.publisher.total_repair_bytes
+            result.hourly_stale_served = dense(self._stale_served_by_hour)
+            result.hourly_repair_pages = dense(self.publisher.repair_pages_by_hour)
+            result.hourly_repair_bytes = dense(self.publisher.repair_bytes_by_hour)
+            result.staleness_age_bin_edges = list(STALENESS_AGE_BIN_EDGES)
+            result.staleness_age_counts = list(self._staleness_age_counts)
         if self._obs_on and self.obs.profiler is not None:
             result.profile = self.obs.profiler.summary()
         if self._obs_on:

@@ -80,3 +80,41 @@ def test_degraded_windows_carry_spec_parameters():
                 assert window.loss_probability == 0.25
                 found += 1
     assert found > 0
+
+
+def test_broker_windows_generated_per_shard():
+    spec = ChaosSpec(broker_mtbf=43_200.0, broker_mttr=1_800.0, broker_count=3)
+    schedule = _schedule(spec)
+    assert schedule.has_broker_faults
+    assert schedule.broker_crash_count > 0
+    shards = {broker for broker, _ in schedule.broker_crash_windows()}
+    assert shards <= set(range(3))
+    for _, window in schedule.broker_crash_windows():
+        assert 0.0 <= window.start < window.end <= HORIZON
+
+
+def test_broker_stream_is_independent():
+    """Enabling broker crashes must not move any other fault kind."""
+    others = ChaosSpec(
+        proxy_mtbf=86_400.0,
+        publisher_mtbf=172_800.0,
+        degraded_mtbf=86_400.0,
+    )
+    without = _schedule(others)
+    with_brokers = _schedule(
+        ChaosSpec(
+            proxy_mtbf=86_400.0,
+            publisher_mtbf=172_800.0,
+            degraded_mtbf=86_400.0,
+            broker_mtbf=43_200.0,
+        )
+    )
+    assert without.crash_windows() == with_brokers.crash_windows()
+    assert without.outage_windows() == with_brokers.outage_windows()
+    assert not without.has_broker_faults
+    assert with_brokers.has_broker_faults
+
+
+def test_broker_mtbf_zero_means_no_broker_windows():
+    spec = ChaosSpec(proxy_mtbf=86_400.0, broker_count=4)
+    assert not _schedule(spec).has_broker_faults

@@ -98,3 +98,33 @@ def test_empty_schedule():
     assert not EMPTY_SCHEDULE.publisher_down(0.0)
     assert EMPTY_SCHEDULE.degradation(0, 0.0) is None
     assert not FaultSchedule(proxy_crashes={0: [Window(0.0, 1.0)]}).empty
+
+
+def test_broker_queries():
+    schedule = FaultSchedule(
+        broker_crashes={
+            1: [Window(start=10.0, end=20.0)],
+            0: [Window(start=50.0, end=60.0), Window(start=5.0, end=8.0)],
+        }
+    )
+    assert schedule.has_broker_faults
+    assert not schedule.empty
+    assert schedule.broker_down(0, 6.0)
+    assert not schedule.broker_down(0, 8.0)  # half-open
+    assert schedule.broker_down(1, 10.0)
+    assert not schedule.broker_down(2, 10.0)  # unknown shard: healthy
+    assert schedule.broker_crash_count == 3
+    assert schedule.broker_downtime_seconds == pytest.approx(23.0)
+    # Pairs ordered by broker then time, regardless of insertion order.
+    assert schedule.broker_crash_windows() == [
+        (0, Window(start=5.0, end=8.0)),
+        (0, Window(start=50.0, end=60.0)),
+        (1, Window(start=10.0, end=20.0)),
+    ]
+
+
+def test_broker_only_schedule_is_not_empty():
+    schedule = FaultSchedule(broker_crashes={0: [Window(start=1.0, end=2.0)]})
+    assert not schedule.empty
+    assert EMPTY_SCHEDULE.broker_crash_count == 0
+    assert not EMPTY_SCHEDULE.has_broker_faults

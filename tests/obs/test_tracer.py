@@ -106,6 +106,8 @@ def test_taxonomy_is_complete():
         "push_accept", "push_reject", "push_suppressed", "request",
         "hit", "stale", "miss", "fetch", "peer_fetch", "failover",
         "retry", "failed", "evict", "crash", "restart", "outage",
-        "outage_end",
+        "outage_end", "delivery_drop", "delivery_retransmit",
+        "delivery_lost", "delivery_dup", "delivery_gap",
+        "stale_served", "repair",
     }
     assert EVENT_TYPES == expected

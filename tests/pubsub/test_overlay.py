@@ -88,6 +88,87 @@ def test_match_counts_equal_centralized():
         assert tree.match_counts(page) == flat.match_counts(page)
 
 
+def test_match_counts_equal_centralized_under_churn():
+    """Equivalence must survive unsubscribe/resubscribe churn.
+
+    Half the population unsubscribes, a third of those resubscribe, and
+    the tree's per-proxy match counts must still agree exactly with a
+    flat engine that saw the same churn — even though the tree's
+    upstream aggregated interests go stale (they are never withdrawn).
+    """
+    tree = build_tree(proxy_count=8, seed=3)
+    flat = MatchingEngine()
+    population = random_population(8, 120, seed=4)
+    for subscription in population:
+        tree.subscribe(subscription)
+        flat.subscribe(subscription)
+    churned = population[::2]
+    for subscription in churned:
+        tree.unsubscribe(subscription)
+        flat.unsubscribe(subscription)
+    for subscription in churned[::3]:
+        tree.subscribe(subscription)
+        flat.subscribe(subscription)
+    for page in random_pages(60, seed=5):
+        assert tree.match_counts(page) == flat.match_counts(page)
+
+
+def test_unsubscribe_leaves_covering_filter_stale():
+    """Leaf-only removal: upstream interest copies and ``_forwarded``
+    markers stay in place, so a resubscribe of the same predicate set
+    is fully covered (zero control messages) and matching stays exact.
+    """
+    tree = build_tree()
+    predicates = (topic_is("a"),)
+    subscription = Subscription(
+        subscriber_id=1, proxy_id=2, predicates=predicates
+    )
+    leaf = tree.broker_for_proxy(2)
+    messages = tree.subscribe(subscription)
+    assert messages > 0
+    assert leaf.covers(predicates)
+
+    tree.unsubscribe(subscription)
+    # The interest is gone from the leaf engine: no deliveries...
+    assert tree.match_counts(Page(page_id=1, size=10, topic="a")) == {}
+    # ...but the covering filter still claims the predicate set was
+    # forwarded, and every broker on the upward path still holds its
+    # aggregated copy (the stale covering filter, pinned on purpose).
+    assert leaf.covers(predicates)
+    current = leaf.parent
+    while current is not None:
+        matched = current.engine.matching_subscriptions(
+            Page(page_id=2, size=10, topic="a")
+        )
+        assert any(sub.proxy_id == 2 for sub in matched)
+        current = current.parent
+
+    # Resubscribing the identical predicate set rides the stale filter:
+    # zero upward control messages, and counting works again.
+    resubscribed = Subscription(
+        subscriber_id=9, proxy_id=2, predicates=predicates
+    )
+    assert tree.subscribe(resubscribed) == 0
+    assert tree.match_counts(Page(page_id=3, size=10, topic="a")) == {2: 1}
+
+
+def test_stale_upstream_interest_wastes_descent_not_counts():
+    """A fully unsubscribed branch still attracts publication messages
+    (the stale aggregated interest routes them down) but contributes no
+    match counts — wasted descent, never a wrong answer."""
+    tree = build_tree(proxy_count=8, seed=3)
+    subscription = Subscription(
+        subscriber_id=1, proxy_id=5, predicates=(topic_is("a"),)
+    )
+    tree.subscribe(subscription)
+    tree.unsubscribe(subscription)
+    before = tree.total_publication_messages()
+    counts = tree.match_counts(Page(page_id=1, size=10, topic="a"))
+    after = tree.total_publication_messages()
+    assert counts == {}
+    assert after > before
+
+
 def test_covering_suppresses_duplicate_forwarding():
     tree = build_tree()
     first = Subscription(

@@ -32,6 +32,25 @@ FAULT_FIELDS = {
     "recovery_curve_requests",
     "recovery_curve_hits",
     "recovery_bin_seconds",
+    # reliable-delivery fields (zero/empty healthy, dense zero lists
+    # and constant bin edges under an engaged faults layer)
+    "notifications_sent",
+    "notifications_delivered",
+    "notifications_lost",
+    "notification_loss_events",
+    "notifications_retransmitted",
+    "duplicate_notifications",
+    "delivery_gaps_detected",
+    "retransmit_queue_overflows",
+    "stale_hits_served",
+    "staleness_validations",
+    "repair_fetches",
+    "repair_bytes",
+    "hourly_stale_served",
+    "hourly_repair_pages",
+    "hourly_repair_bytes",
+    "staleness_age_bin_edges",
+    "staleness_age_counts",
 }
 
 #: A harsh-weather spec used across the determinism tests.

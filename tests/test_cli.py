@@ -174,6 +174,94 @@ def test_chaos_rejects_empty_strategy_list(capsys):
     assert "no strategies" in capsys.readouterr().err
 
 
+def test_chaos_warns_when_spec_describes_no_faults(capsys):
+    code = main(
+        [
+            "chaos",
+            "--strategies", "gdstar",
+            "--scale", "0.03",
+            "--proxy-mtbf", "0",
+            "--publisher-mtbf", "0",
+            "--degraded-mtbf", "0",
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "describes no faults" in captured.err
+    assert "resilience by strategy" in captured.out
+
+
+def test_chaos_delivery_faults_silence_the_warning(capsys):
+    code = main(
+        [
+            "chaos",
+            "--strategies", "sub",
+            "--scale", "0.03",
+            "--proxy-mtbf", "0",
+            "--publisher-mtbf", "0",
+            "--degraded-mtbf", "0",
+            "--delivery-loss", "0.2",
+            "--delivery-retries", "1",
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "describes no faults" not in captured.err
+    # The delivery columns join the resilience table.
+    assert "lost" in captured.out and "repairs" in captured.out
+
+
+def test_chaos_delivery_flags_build_the_spec():
+    from repro.cli import _build_chaos_spec
+    from repro.experiments.chaos import DEFAULT_CHAOS
+
+    args = build_parser().parse_args(
+        [
+            "chaos",
+            "--delivery-loss", "0.1",
+            "--delivery-dup", "0.05",
+            "--delivery-reorder", "7.5",
+            "--broker-mtbf", "43200",
+            "--broker-mttr", "900",
+            "--broker-count", "3",
+            "--delivery-retries", "2",
+            "--delivery-ack-timeout", "0.5",
+            "--no-repair",
+        ]
+    )
+    spec = _build_chaos_spec(args, DEFAULT_CHAOS)
+    assert spec.delivery_loss_probability == 0.1
+    assert spec.delivery_duplicate_probability == 0.05
+    assert spec.delivery_reorder_delay == 7.5
+    assert spec.broker_mtbf == 43200.0
+    assert spec.broker_mttr == 900.0
+    assert spec.broker_count == 3
+    assert spec.delivery_retry_limit == 2
+    assert spec.delivery_ack_timeout == 0.5
+    assert spec.delivery_repair is False
+    assert spec.delivery_faulty
+    # Unspecified knobs ride the base spec.
+    assert spec.proxy_mtbf == DEFAULT_CHAOS.proxy_mtbf
+
+
+def test_chaos_flags_default_to_base_spec():
+    from repro.cli import _build_chaos_spec
+    from repro.experiments.chaos import DEFAULT_CHAOS
+
+    args = build_parser().parse_args(["chaos"])
+    spec = _build_chaos_spec(args, DEFAULT_CHAOS)
+    assert spec == DEFAULT_CHAOS
+
+
+def test_chaos_rejects_invalid_delivery_parameter(capsys):
+    code = main(
+        ["chaos", "--strategies", "gdstar", "--scale", "0.03",
+         "--delivery-loss", "1.5"]
+    )
+    assert code == 2
+    assert "invalid chaos parameter" in capsys.readouterr().err
+
+
 def test_seed_sweep_rejects_unknown_strategy(capsys):
     code = main(["seed-sweep", "--strategy", "bogus", "--scale", "0.03"])
     assert code == 2
