@@ -16,6 +16,11 @@ import heapq
 from typing import Dict, Hashable, List, Optional, Tuple
 
 
+#: Auto-compaction floor: backing lists shorter than this are never
+#: rebuilt, so tiny heaps skip the bookkeeping entirely.
+_COMPACT_FLOOR = 64
+
+
 class AddressableHeap:
     """Min-heap mapping hashable keys to float priorities."""
 
@@ -31,11 +36,21 @@ class AddressableHeap:
         return key in self._live
 
     def push(self, key: Hashable, priority: float) -> None:
-        """Insert ``key`` or update its priority if already present."""
+        """Insert ``key`` or update its priority if already present.
+
+        Every update leaves a dead record behind; once dead records
+        outnumber live ones the backing list is rebuilt in place, so
+        update-heavy workloads (long sweeps re-prioritising on every
+        hit) keep the list at most ~2× the live population instead of
+        growing without bound.
+        """
         self._sequence += 1
         record = (float(priority), self._sequence, key)
         self._live[key] = (record[0], record[1])
         heapq.heappush(self._heap, record)
+        heap_size = len(self._heap)
+        if heap_size >= _COMPACT_FLOOR and heap_size > 2 * len(self._live):
+            self.compact()
 
     #: ``update`` is an alias — push already overwrites.
     update = push

@@ -18,12 +18,14 @@
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.core.registry import strategy_names
+from repro.experiments.artifacts import DEFAULT_CACHE_DIR
 from repro.experiments.figures import beta_sweep, figure3, figure4, figure5, figure6, figure7
-from repro.experiments.runner import run_cell
+from repro.experiments.runner import run_cell, set_default_artifact_dir
 from repro.experiments.spec import CellKey
 from repro.experiments.tables import table2
 from repro.obs import build_observer, setup_cli_logging
@@ -58,7 +60,37 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="workload scale (1.0 = the paper's full size)",
     )
     parser.add_argument("--seed", type=int, default=7, help="root random seed")
+    parser.add_argument(
+        "--artifact-cache", nargs="?", const=DEFAULT_CACHE_DIR, default=None,
+        metavar="DIR",
+        help=(
+            "cache generated traces/match tables/topologies on disk "
+            f"under DIR (default {DEFAULT_CACHE_DIR}) so repeated runs "
+            "load instead of regenerate"
+        ),
+    )
+    parser.add_argument(
+        "--no-artifact-cache", action="store_true",
+        help="force the on-disk artifact cache off "
+             "(overrides --artifact-cache and REPRO_ARTIFACT_CACHE)",
+    )
     _add_verbose(parser)
+
+
+def _configure_artifact_cache(args: argparse.Namespace) -> None:
+    """Resolve the artifact-cache flags/env into the runner default.
+
+    Precedence: ``--no-artifact-cache`` > ``--artifact-cache [DIR]`` >
+    the ``REPRO_ARTIFACT_CACHE`` environment variable > off.
+    """
+    directory = None
+    if not getattr(args, "no_artifact_cache", False):
+        directory = (
+            getattr(args, "artifact_cache", None)
+            or os.environ.get("REPRO_ARTIFACT_CACHE")
+            or None
+        )
+    set_default_artifact_dir(directory)
 
 
 def _add_verbose(parser: argparse.ArgumentParser) -> None:
@@ -124,6 +156,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         beta=args.beta,
         observer=observer,
+        replay=args.replay,
     )
     print(result.summary())
     _finish_observer(observer, args)
@@ -426,6 +459,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=PushingScheme.WHEN_NECESSARY.value,
     )
     run_parser.add_argument("--beta", type=float, default=None)
+    run_parser.add_argument(
+        "--replay", choices=["fast", "agenda"], default="fast",
+        help="trace replay engine: the merged fast path (default) or "
+             "the legacy heap agenda (bit-identical results)",
+    )
     _add_common(run_parser)
     _add_obs(run_parser, profile=True)
     run_parser.set_defaults(func=_cmd_run)
@@ -607,6 +645,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     setup_cli_logging(args.verbose)
+    _configure_artifact_cache(args)
     return args.func(args)
 
 

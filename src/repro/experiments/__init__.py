@@ -20,11 +20,16 @@ benchmarks default to a laptop-friendly fraction) and a ``seed``.
 """
 
 from repro.experiments.spec import ExperimentGrid, GridResult, CellKey
+from repro.experiments.artifacts import (
+    FORMAT_VERSION,
+    ArtifactCache,
+)
 from repro.experiments.runner import (
     trace_for,
     run_cell,
     run_grid,
     paper_beta,
+    set_default_artifact_dir,
 )
 from repro.experiments.report import render_table, render_series
 from repro.experiments.figures import (
@@ -59,10 +64,13 @@ __all__ = [
     "ExperimentGrid",
     "GridResult",
     "CellKey",
+    "FORMAT_VERSION",
+    "ArtifactCache",
     "trace_for",
     "run_cell",
     "run_grid",
     "paper_beta",
+    "set_default_artifact_dir",
     "render_table",
     "render_series",
     "figure3",

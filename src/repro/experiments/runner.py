@@ -3,6 +3,17 @@
 Workload generation, subscription tables and the topology are shared
 across the cells of a grid (the paper evaluates all strategies on the
 same trace), so a 36-cell Figure-4 grid generates two traces, not 36.
+
+Two reuse layers stack here:
+
+* an in-process ``lru_cache`` memo (always on), and
+* an optional **on-disk artifact cache** (see
+  :mod:`repro.experiments.artifacts`): with an artifact directory
+  configured, traces/tables/topologies are serialized under it keyed by
+  their generation parameters, so pool workers and *repeated
+  invocations* load instead of regenerate.  Enable it per call
+  (``artifact_dir=...``), process-wide (:func:`set_default_artifact_dir`)
+  or from the CLI (``--artifact-cache``).
 """
 
 from __future__ import annotations
@@ -10,6 +21,12 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Callable, Dict, Optional
 
+from repro.experiments.artifacts import (
+    ArtifactCache,
+    cached_match_table,
+    cached_topology,
+    cached_trace,
+)
 from repro.network.topology import Topology, build_topology
 from repro.obs.log import get_logger
 from repro.obs.recorder import Observer
@@ -25,18 +42,50 @@ from repro.experiments.spec import CellKey, ExperimentGrid, GridResult
 
 logger = get_logger(__name__)
 
+#: Process-wide default artifact directory (None = disk cache off).
+_default_artifact_dir: Optional[str] = None
+
+
+def set_default_artifact_dir(directory: Optional[str]) -> None:
+    """Set (or clear, with None) the process-wide artifact directory."""
+    global _default_artifact_dir
+    _default_artifact_dir = directory
+
+
+def _resolve_artifact_dir(artifact_dir: Optional[str]) -> Optional[str]:
+    return artifact_dir if artifact_dir is not None else _default_artifact_dir
+
 
 @lru_cache(maxsize=8)
-def trace_for(trace: str, scale: float, seed: int) -> Workload:
+def trace_for(
+    trace: str, scale: float, seed: int, artifact_dir: Optional[str] = None
+) -> Workload:
     """Generate (and memoize) one of the preset traces."""
+    if artifact_dir is not None:
+        return cached_trace(ArtifactCache(artifact_dir), trace, scale, seed)
     return make_trace(trace, scale=scale, seed=seed)
 
 
 @lru_cache(maxsize=32)
 def _match_table_for(
-    trace: str, scale: float, seed: int, sq: float, notified_fraction: float
+    trace: str,
+    scale: float,
+    seed: int,
+    sq: float,
+    notified_fraction: float,
+    artifact_dir: Optional[str] = None,
 ) -> TraceMatchCounts:
-    workload = trace_for(trace, scale, seed)
+    workload = trace_for(trace, scale, seed, artifact_dir)
+    if artifact_dir is not None:
+        return cached_match_table(
+            ArtifactCache(artifact_dir),
+            workload,
+            trace,
+            scale,
+            seed,
+            sq,
+            notified_fraction,
+        )
     table = build_match_counts(
         workload.request_pairs(),
         sq,
@@ -47,7 +96,17 @@ def _match_table_for(
 
 
 @lru_cache(maxsize=8)
-def _topology_for(server_count: int, seed: int, model: str, extra: int) -> Topology:
+def _topology_for(
+    server_count: int,
+    seed: int,
+    model: str,
+    extra: int,
+    artifact_dir: Optional[str] = None,
+) -> Topology:
+    if artifact_dir is not None:
+        return cached_topology(
+            ArtifactCache(artifact_dir), server_count, seed, model, extra
+        )
     return build_topology(
         server_count,
         RandomStreams(seed).stream("topology"),
@@ -82,17 +141,28 @@ def run_cell(
     notified_fraction: float = 1.0,
     strategy_options: Optional[Dict] = None,
     observer: Optional[Observer] = None,
+    artifact_dir: Optional[str] = None,
+    replay: str = "fast",
 ) -> SimulationResult:
-    """Run one simulation cell (trace and tables are memoized)."""
+    """Run one simulation cell (trace and tables are memoized).
+
+    With ``artifact_dir`` set (or a process default configured via
+    :func:`set_default_artifact_dir`), the trace, match table and
+    topology are additionally loaded from / stored to the on-disk
+    artifact cache.
+    """
     logger.info(
         "cell %s/%s cap=%.2f sq=%.2f (scale=%s seed=%d)",
         key.trace, key.strategy, key.capacity, key.sq, scale, seed,
     )
-    workload = trace_for(key.trace, scale, seed)
+    artifact_dir = _resolve_artifact_dir(artifact_dir)
+    workload = trace_for(key.trace, scale, seed, artifact_dir)
     match_table = _match_table_for(
-        key.trace, scale, seed, key.sq, notified_fraction
+        key.trace, scale, seed, key.sq, notified_fraction, artifact_dir
     )
-    topology = _topology_for(workload.config.server_count, seed, "waxman", 20)
+    topology = _topology_for(
+        workload.config.server_count, seed, "waxman", 20, artifact_dir
+    )
     options = dict(strategy_options or {})
     if beta is None:
         beta = paper_beta(key.trace, key.strategy, key.capacity)
@@ -105,6 +175,7 @@ def run_cell(
         pushing=PushingScheme(key.pushing),
         seed=seed,
         notified_fraction=notified_fraction,
+        replay=replay,
     )
     simulation = Simulation(workload, config, match_table, topology, observer=observer)
     result = simulation.run()
@@ -118,16 +189,21 @@ def run_grid(
     seed: int = 7,
     beta: Optional[float] = None,
     notified_fraction: float = 1.0,
+    strategy_options: Optional[Dict] = None,
     progress: Optional[Callable[[CellKey, SimulationResult], None]] = None,
     workers: int = 1,
+    artifact_dir: Optional[str] = None,
 ) -> GridResult:
     """Run every cell of ``grid``; see :class:`GridResult` for access.
 
-    With ``workers > 1`` the cells run in a process pool.  Workers do
-    not share the trace/table memo, so each process regenerates the
-    workload once — worthwhile for full-scale sweeps where simulation
-    dominates, pointless for tiny test grids.
+    With ``workers > 1`` the cells run in a process pool and
+    ``progress`` fires as cells *finish* (completion order, no
+    head-of-line blocking).  Workers do not share the in-process
+    trace/table memo, so each regenerates the workload once — unless an
+    artifact directory is configured, in which case the first worker to
+    finish generating persists it and the rest load from disk.
     """
+    artifact_dir = _resolve_artifact_dir(artifact_dir)
     outcome = GridResult(grid=grid, scale=scale, seed=seed)
     cells = grid.cells()
     if workers <= 1:
@@ -138,27 +214,32 @@ def run_grid(
                 seed=seed,
                 beta=beta,
                 notified_fraction=notified_fraction,
+                strategy_options=strategy_options,
+                artifact_dir=artifact_dir,
             )
             outcome.results[key] = result
             if progress is not None:
                 progress(key, result)
         return outcome
 
-    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import ProcessPoolExecutor, as_completed
 
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = {
-            key: pool.submit(
+            pool.submit(
                 run_cell,
                 key,
                 scale=scale,
                 seed=seed,
                 beta=beta,
                 notified_fraction=notified_fraction,
-            )
+                strategy_options=strategy_options,
+                artifact_dir=artifact_dir,
+            ): key
             for key in cells
         }
-        for key, future in futures.items():
+        for future in as_completed(futures):
+            key = futures[future]
             result = future.result()
             outcome.results[key] = result
             if progress is not None:

@@ -19,6 +19,7 @@ so either implementation can drive a simulation.
 
 from __future__ import annotations
 
+import json
 from collections import defaultdict
 from typing import Dict, Iterable, List, Mapping, Protocol, Sequence, Set, Tuple
 
@@ -57,6 +58,9 @@ class MatchingEngine:
         self._required_hits: Dict[int, int] = {}
         # Subscriptions with no indexable predicate: always evaluated.
         self._scan_list: Set[int] = set()
+        # subscription id -> its indexed terms, so unsubscribe touches
+        # only the owning buckets instead of scanning the whole index.
+        self._terms_by_sid: Dict[int, List[Tuple[str, object]]] = {}
 
     # -- registration ---------------------------------------------------
 
@@ -67,6 +71,7 @@ class MatchingEngine:
             return
         self._subscriptions[sid] = subscription
         indexed_predicates = 0
+        own_terms: List[Tuple[str, object]] = []
         for predicate in subscription.predicates:
             terms = predicate.indexable_terms
             if terms is None:
@@ -74,21 +79,35 @@ class MatchingEngine:
             indexed_predicates += 1
             for term in terms:
                 self._index[term].add(sid)
+                own_terms.append(term)
+        if own_terms:
+            self._terms_by_sid[sid] = own_terms
         if indexed_predicates:
             self._required_hits[sid] = indexed_predicates
         else:
             self._scan_list.add(sid)
 
     def unsubscribe(self, subscription: Subscription) -> None:
-        """Remove a subscription; unknown ids are ignored."""
+        """Remove a subscription; unknown ids are ignored.
+
+        O(own terms), not O(index size): the reverse map recorded at
+        subscribe time names the buckets holding this id, and buckets
+        emptied by the removal are dropped so churn cannot grow the
+        index without bound.
+        """
         sid = subscription.subscription_id
         if sid not in self._subscriptions:
             return
         del self._subscriptions[sid]
         self._required_hits.pop(sid, None)
         self._scan_list.discard(sid)
-        for bucket in self._index.values():
+        for term in self._terms_by_sid.pop(sid, ()):
+            bucket = self._index.get(term)
+            if bucket is None:
+                continue
             bucket.discard(sid)
+            if not bucket:
+                del self._index[term]
 
     def subscribe_all(self, subscriptions: Iterable[Subscription]) -> None:
         for subscription in subscriptions:
@@ -165,6 +184,30 @@ class TraceMatchCounts:
     def count_for(self, page_id: int, proxy_id: int) -> int:
         """Convenience scalar lookup."""
         return self._table.get(page_id, {}).get(proxy_id, 0)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the table (page_id -> {proxy: count}) to JSON."""
+        return json.dumps(
+            {
+                str(page_id): {str(proxy): count for proxy, count in per_proxy.items()}
+                for page_id, per_proxy in self._table.items()
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TraceMatchCounts":
+        """Rebuild a table serialized with :meth:`to_json`."""
+        payload = json.loads(text)
+        return cls(
+            {
+                int(page_id): {
+                    int(proxy): int(count) for proxy, count in per_proxy.items()
+                }
+                for page_id, per_proxy in payload.items()
+            }
+        )
 
     @property
     def page_ids(self) -> Sequence[int]:

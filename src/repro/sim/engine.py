@@ -195,6 +195,57 @@ class Environment:
 
         return Process(self, generator)
 
+    def run_hybrid(self, stream) -> None:
+        """Replay a pre-sorted static stream merged with the agenda.
+
+        ``stream`` yields ``(time, priority, fn, a, b)`` records sorted
+        lexicographically by ``(time, priority)``; each is dispatched as
+        ``fn(a, b, time)`` without ever touching the agenda.  The agenda
+        keeps serving *dynamic* events (timeouts, processes, anything
+        scheduled while running).
+
+        Ordering is bit-identical to scheduling the whole stream up
+        front and calling :meth:`run`: had the static records been
+        enqueued first, they would hold lower sequence numbers than
+        every dynamically scheduled event, so on a ``(time, priority)``
+        tie the static record must win — which is exactly the ``<=``
+        below.  Relative order *among* dynamic events is untouched
+        (they still go through the heap in scheduling order).
+
+        Runs until both the stream and the agenda are exhausted.
+        """
+        agenda = self._agenda
+        profiler = self.profiler
+        if profiler is not None:
+            from time import perf_counter
+
+            record = profiler.record
+        iterator = iter(stream)
+        pending = next(iterator, None)
+        while pending is not None:
+            at, priority, fn, a, b = pending
+            if agenda and (agenda[0][0], agenda[0][1]) < (at, priority):
+                if profiler is None:
+                    self.step()
+                else:
+                    started = perf_counter()
+                    self.step()
+                    record("engine.step", perf_counter() - started)
+                continue
+            if at < self._now:
+                raise SimulationError(
+                    f"static stream goes back in time: {at} < now={self._now}"
+                )
+            self._now = at
+            if profiler is None:
+                fn(a, b, at)
+            else:
+                started = perf_counter()
+                fn(a, b, at)
+                record("engine.step", perf_counter() - started)
+            pending = next(iterator, None)
+        self.run()
+
     def run(self, until: Optional[float] = None) -> None:
         """Run until the agenda empties or the clock passes ``until``.
 

@@ -67,6 +67,13 @@ class SimulationConfig:
     #: whose rates are all zero yields an empty schedule, whose metrics
     #: are bit-identical to a run without the layer.
     chaos: Optional[ChaosSpec] = None
+    #: Trace replay engine: ``"fast"`` merges the static publish and
+    #: request streams straight into the handlers, consulting the DES
+    #: agenda only for dynamic events; ``"agenda"`` is the legacy path
+    #: that heap-schedules every trace record.  The two are bit-identical
+    #: in every :class:`~repro.system.metrics.SimulationResult` field
+    #: except ``wall_seconds``/``profile``.
+    replay: str = "fast"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.capacity_fraction <= 1.0:
@@ -86,3 +93,7 @@ class SimulationConfig:
             raise ValueError("invariant_check_interval must be >= 0")
         if self.hit_latency < 0 or self.per_hop_latency < 0:
             raise ValueError("latencies must be >= 0")
+        if self.replay not in ("fast", "agenda"):
+            raise ValueError(
+                f"replay must be 'fast' or 'agenda', got {self.replay!r}"
+            )

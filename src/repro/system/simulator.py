@@ -796,6 +796,46 @@ class Simulation:
 
     # -- main entry ----------------------------------------------------------
 
+    def _static_stream(self):
+        """Two-pointer merge of the publish and request streams.
+
+        Yields ``(time, priority, handler, a, b)`` records in exactly
+        the order the legacy agenda would pop them: nondecreasing
+        ``(time, priority)``, publishes (URGENT) winning time ties over
+        requests (NORMAL), and each stream's own pre-sorted order
+        breaking full ties (which matches the legacy path's insertion
+        sequence, publishes scheduled first).
+        """
+        publishes = self.workload.publishes
+        requests = self.workload.requests
+        handle_publish = self._handle_publish
+        handle_request = self._handle_request
+        i, publish_count = 0, len(publishes)
+        j, request_count = 0, len(requests)
+        while i < publish_count and j < request_count:
+            publish = publishes[i]
+            request = requests[j]
+            # A request precedes a publish only at a strictly earlier
+            # time; on a tie URGENT beats NORMAL.
+            if request.time < publish.time:
+                yield (request.time, NORMAL, handle_request,
+                       request.server_id, request.page_id)
+                j += 1
+            else:
+                yield (publish.time, URGENT, handle_publish,
+                       publish.page_id, publish.version)
+                i += 1
+        while i < publish_count:
+            publish = publishes[i]
+            yield (publish.time, URGENT, handle_publish,
+                   publish.page_id, publish.version)
+            i += 1
+        while j < request_count:
+            request = requests[j]
+            yield (request.time, NORMAL, handle_request,
+                   request.server_id, request.page_id)
+            j += 1
+
     def run(self) -> SimulationResult:
         """Replay the whole trace and collect the metrics."""
         started = time.perf_counter()
@@ -817,27 +857,32 @@ class Simulation:
         self._env = env
         if self._obs_on and obs.profiler is not None:
             env.profiler = obs.profiler
+        fast = self.config.replay == "fast"
         with obs.span("sim.schedule"):
-            for event in self.workload.publishes:
-                env.schedule(
-                    event.time,
-                    lambda _env, p=event.page_id, v=event.version: (
-                        self._handle_publish(p, v, _env.now)
-                    ),
-                    priority=URGENT,
-                )
-            for record in self.workload.requests:
-                env.schedule(
-                    record.time,
-                    lambda _env, s=record.server_id, p=record.page_id: (
-                        self._handle_request(s, p, _env.now)
-                    ),
-                    priority=NORMAL,
-                )
+            if not fast:
+                for event in self.workload.publishes:
+                    env.schedule(
+                        event.time,
+                        lambda _env, p=event.page_id, v=event.version: (
+                            self._handle_publish(p, v, _env.now)
+                        ),
+                        priority=URGENT,
+                    )
+                for record in self.workload.requests:
+                    env.schedule(
+                        record.time,
+                        lambda _env, s=record.server_id, p=record.page_id: (
+                            self._handle_request(s, p, _env.now)
+                        ),
+                        priority=NORMAL,
+                    )
             if self._faults_on:
                 FaultInjector(self.fault_schedule).install(env, self)
         with obs.span("sim.run"):
-            env.run()
+            if fast:
+                env.run_hybrid(self._static_stream())
+            else:
+                env.run()
         if self._obs_on:
             obs.run_end(
                 env.now,

@@ -150,3 +150,39 @@ def test_interleaved_operations_stay_consistent():
             assert priority == pytest.approx(expected_min)
             assert reference.pop(key) == priority
     assert len(heap) == len(reference)
+
+
+def test_update_heavy_churn_stays_bounded():
+    """Auto-compaction: the backing list never exceeds 2x the live
+    population (for heaps past the compaction floor), no matter how
+    many priority updates pile up."""
+    heap = AddressableHeap()
+    live = 200
+    for key in range(live):
+        heap.push(key, float(key))
+    for round_index in range(50):
+        for key in range(live):
+            heap.push(key, float(round_index * live + key))
+        assert len(heap._heap) <= 2 * live
+    assert len(heap) == live
+    # Ordering survives the rebuilds.
+    popped = [heap.pop()[0] for _ in range(live)]
+    assert popped == sorted(range(live))
+
+
+def test_push_pop_churn_stays_bounded():
+    heap = AddressableHeap()
+    for step in range(5000):
+        heap.push(step % 100, float(step))
+        if step % 3 == 0:
+            heap.pop()
+    assert len(heap._heap) <= max(64, 2 * len(heap) + 1)
+
+
+def test_tiny_heaps_never_auto_compact():
+    heap = AddressableHeap()
+    for step in range(20):
+        heap.push("k", float(step))
+    # Below the floor the dead records are left alone (cheapest path).
+    assert len(heap._heap) == 20
+    assert heap.pop() == ("k", 19.0)

@@ -88,3 +88,35 @@ def test_run_grid_parallel_matches_serial():
             serial.results[key].push_transfers
             == parallel.results[key].push_transfers
         )
+
+
+def test_run_grid_parallel_progress_and_options_forwarded():
+    """Workers>1: progress fires once per cell as cells complete, and
+    strategy_options/beta reach the pool workers."""
+    grid = ExperimentGrid(strategies=("gdstar", "sg2"), capacities=(0.05,))
+    seen = []
+    parallel = run_grid(
+        grid,
+        scale=SCALE,
+        seed=3,
+        beta=0.5,
+        strategy_options={"beta": 0.5},
+        progress=lambda key, result: seen.append(key),
+        workers=2,
+    )
+    assert sorted(map(str, seen)) == sorted(map(str, grid.cells()))
+    serial = run_grid(
+        grid, scale=SCALE, seed=3, beta=0.5, strategy_options={"beta": 0.5}
+    )
+    for key in grid.cells():
+        assert serial.results[key].hits == parallel.results[key].hits
+
+
+def test_run_grid_serial_forwards_strategy_options():
+    """An explicit beta in strategy_options overrides the paper default
+    in both the serial and pooled paths."""
+    grid = ExperimentGrid(strategies=("sg2",), capacities=(0.05,))
+    default = run_grid(grid, scale=SCALE, seed=3)
+    overridden = run_grid(grid, scale=SCALE, seed=3, strategy_options={"beta": 0.01})
+    key = grid.cells()[0]
+    assert default.results[key].requests == overridden.results[key].requests

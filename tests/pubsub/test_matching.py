@@ -176,3 +176,48 @@ class TestTraceMatchCounts:
     def test_page_ids(self):
         table = TraceMatchCounts({1: {0: 1}, 5: {0: 1}})
         assert sorted(table.page_ids) == [1, 5]
+
+
+class TestUnsubscribeChurn:
+    def test_unsubscribe_shrinks_index_buckets(self):
+        """Churn must not grow the inverted index: unsubscribe discards
+        the subscription from exactly its own buckets and drops buckets
+        it emptied."""
+        engine = MatchingEngine()
+        subs = [
+            subscription(i % 4, topic_is(f"topic-{i}"), subscriber_id=i)
+            for i in range(50)
+        ]
+        engine.subscribe_all(subs)
+        assert len(engine._index) == 50
+        for sub in subs[:40]:
+            engine.unsubscribe(sub)
+        # Each topic term was unique to its subscription, so emptied
+        # buckets disappear entirely.
+        assert len(engine._index) == 10
+        assert engine.subscription_count == 10
+        assert all(engine._index.values())
+
+    def test_unsubscribe_keeps_shared_buckets(self):
+        engine = MatchingEngine()
+        a = subscription(0, topic_is("shared"), subscriber_id=1)
+        b = subscription(1, topic_is("shared"), subscriber_id=2)
+        engine.subscribe_all([a, b])
+        engine.unsubscribe(a)
+        assert len(engine._index) == 1
+        matched = engine.matching_subscriptions(page(topic="shared"))
+        assert matched == [b]
+        engine.unsubscribe(b)
+        assert len(engine._index) == 0
+        assert engine.matching_subscriptions(page(topic="shared")) == []
+
+    def test_reverse_map_tracks_subscription_lifecycle(self):
+        engine = MatchingEngine()
+        sub = subscription(0, topic_is("news"), keyword_any({"x"}))
+        engine.subscribe(sub)
+        assert sub.subscription_id in engine._terms_by_sid
+        engine.unsubscribe(sub)
+        assert sub.subscription_id not in engine._terms_by_sid
+        # Idempotent: a second unsubscribe is a no-op.
+        engine.unsubscribe(sub)
+        assert engine.subscription_count == 0
