@@ -142,7 +142,47 @@ def _finish_observer(observer, args: argparse.Namespace) -> None:
         print(observer.profiler.render())
 
 
+def _build_churn_spec(args: argparse.Namespace):
+    """A ChurnSpec from the run flags, or None when no flag was given."""
+    flags = (
+        args.churn_rate,
+        args.lease_duration,
+        args.renew_probability,
+        args.confirm_loss,
+    )
+    if all(value is None for value in flags):
+        return None
+    from repro.workload.churn import ChurnSpec
+
+    defaults = ChurnSpec()
+    return ChurnSpec(
+        churn_rate=(
+            args.churn_rate if args.churn_rate is not None else defaults.churn_rate
+        ),
+        lease_duration=(
+            args.lease_duration
+            if args.lease_duration is not None
+            else defaults.lease_duration
+        ),
+        renew_probability=(
+            args.renew_probability
+            if args.renew_probability is not None
+            else defaults.renew_probability
+        ),
+        confirmation_loss_probability=(
+            args.confirm_loss
+            if args.confirm_loss is not None
+            else defaults.confirmation_loss_probability
+        ),
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        churn = _build_churn_spec(args)
+    except ValueError as error:
+        print(f"invalid churn parameter: {error}", file=sys.stderr)
+        return 2
     observer = _make_observer(args)
     result = run_cell(
         CellKey(
@@ -157,6 +197,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         beta=args.beta,
         observer=observer,
         replay=args.replay,
+        churn=churn,
     )
     print(result.summary())
     _finish_observer(observer, args)
@@ -463,6 +504,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--replay", choices=["fast", "agenda"], default="fast",
         help="trace replay engine: the merged fast path (default) or "
              "the legacy heap agenda (bit-identical results)",
+    )
+    run_parser.add_argument(
+        "--churn-rate", type=float, default=None, metavar="CYCLES",
+        help="subscription churn: mean unsubscribe/resubscribe cycles "
+             "per subscriber per day (any churn flag enables the "
+             "lifecycle layer)",
+    )
+    run_parser.add_argument(
+        "--lease-duration", type=float, default=None, metavar="SECONDS",
+        help="mean subscription lease duration (exponential)",
+    )
+    run_parser.add_argument(
+        "--renew-probability", type=float, default=None, metavar="P",
+        help="probability an expiring lease is renewed in time",
+    )
+    run_parser.add_argument(
+        "--confirm-loss", type=float, default=None, metavar="P",
+        help="per-attempt confirmation-handshake loss probability",
     )
     _add_common(run_parser)
     _add_obs(run_parser, profile=True)

@@ -35,6 +35,7 @@ from repro.sim.rng import RandomStreams
 from repro.system.config import PushingScheme, SimulationConfig
 from repro.system.metrics import SimulationResult
 from repro.system.simulator import Simulation
+from repro.workload.churn import ChurnSpec
 from repro.workload.presets import make_trace
 from repro.workload.subscriptions import build_match_counts
 from repro.workload.trace import Workload
@@ -143,6 +144,7 @@ def run_cell(
     observer: Optional[Observer] = None,
     artifact_dir: Optional[str] = None,
     replay: str = "fast",
+    churn: Optional[ChurnSpec] = None,
 ) -> SimulationResult:
     """Run one simulation cell (trace and tables are memoized).
 
@@ -150,6 +152,11 @@ def run_cell(
     :func:`set_default_artifact_dir`), the trace, match table and
     topology are additionally loaded from / stored to the on-disk
     artifact cache.
+
+    ``churn`` attaches a subscription-lifecycle stream to the (cached)
+    trace *after* loading: cache keys stay those of the churn-free
+    parameters, and ``with_churn`` returns a fresh Workload so the
+    memoized object is never mutated.
     """
     logger.info(
         "cell %s/%s cap=%.2f sq=%.2f (scale=%s seed=%d)",
@@ -157,6 +164,10 @@ def run_cell(
     )
     artifact_dir = _resolve_artifact_dir(artifact_dir)
     workload = trace_for(key.trace, scale, seed, artifact_dir)
+    if churn is not None:
+        workload = workload.with_churn(
+            churn, RandomStreams(seed).stream("workload.churn")
+        )
     match_table = _match_table_for(
         key.trace, scale, seed, key.sq, notified_fraction, artifact_dir
     )

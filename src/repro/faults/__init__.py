@@ -10,6 +10,13 @@ Pipeline::
     ChaosSpec --(generate_fault_schedule)--> FaultSchedule
         --(FaultInjector, DES processes)--> crash/recover/outage hooks
         --(RecoveryTracker)--> availability + time-to-warm metrics
+
+Beyond the schedule-driven faults, two protocol layers draw per-message
+faults from their own dedicated streams: reliable delivery uses
+``"faults.delivery"`` and the subscription-lifecycle confirmation
+handshake uses :data:`LIFECYCLE_STREAM` (``"faults.lifecycle"``).
+Either stream is derived only when its layer is actually configured, so
+adding one never perturbs the others — the bit-identity discipline.
 """
 
 from repro.faults.generator import generate_fault_schedule
@@ -23,12 +30,16 @@ from repro.faults.schedule import (
 )
 from repro.faults.spec import ChaosSpec
 
+#: Name of the RNG stream feeding subscription-handshake loss draws.
+LIFECYCLE_STREAM = "faults.lifecycle"
+
 __all__ = [
     "ChaosSpec",
     "DegradedWindow",
     "EMPTY_SCHEDULE",
     "FaultInjector",
     "FaultSchedule",
+    "LIFECYCLE_STREAM",
     "RecoveryReport",
     "RecoveryTracker",
     "Window",

@@ -46,6 +46,19 @@ _CHURN_TYPES = frozenset(
     }
 )
 
+#: Subscription-lifecycle event types aggregated per proxy.
+_LIFECYCLE_TYPES = frozenset(
+    {
+        "subscribe",
+        "unsubscribe",
+        "lease_confirmed",
+        "lease_renewed",
+        "lease_expired",
+        "handshake_lost",
+        "repoll",
+    }
+)
+
 
 @dataclass
 class TraceSummary:
@@ -61,6 +74,10 @@ class TraceSummary:
     churn_detail: Dict[int, Counter] = field(default_factory=dict)
     eviction_causes: Counter = field(default_factory=Counter)
     timeline: List[dict] = field(default_factory=list)
+    #: proxy -> Counter of lifecycle event types at that proxy.
+    lifecycle_by_proxy: Dict[int, Counter] = field(default_factory=dict)
+    #: (proxy, page) -> lifecycle event count (the churning subscribers).
+    churning_subscribers: Counter = field(default_factory=Counter)
 
     def render(self, top: int = 10, timeline_limit: int = 20) -> str:
         lines = [f"trace    : {self.path}"]
@@ -91,6 +108,27 @@ class TraceSummary:
             lines.append("eviction causes:")
             for cause, count in self.eviction_causes.most_common():
                 lines.append(f"  {cause:<16s} {count}")
+        if self.lifecycle_by_proxy:
+            lines.append("")
+            lines.append("subscription lifecycle by proxy (top by events):")
+            ranked = sorted(
+                self.lifecycle_by_proxy.items(),
+                key=lambda item: (-sum(item[1].values()), item[0]),
+            )
+            for proxy, detail in ranked[:top]:
+                lines.append(
+                    f"  proxy {proxy:<6d} granted={detail.get('subscribe', 0):<5d} "
+                    f"renewed={detail.get('lease_renewed', 0):<5d} "
+                    f"expired={detail.get('lease_expired', 0):<5d} "
+                    f"unsub={detail.get('unsubscribe', 0):<5d} "
+                    f"repolls={detail.get('repoll', 0)}"
+                )
+            lines.append("")
+            lines.append(f"top {top} churning subscribers (proxy, page):")
+            for (proxy, page), count in self.churning_subscribers.most_common(top):
+                lines.append(
+                    f"  proxy {proxy:<6d} page {page:<8d} lifecycle events={count}"
+                )
         if self.timeline:
             lines.append("")
             shown = self.timeline[:timeline_limit]
@@ -142,6 +180,12 @@ def summarize_trace(path: str) -> TraceSummary:
             summary.churn_detail.setdefault(page, Counter())[etype] += 1
         if etype == "evict":
             summary.eviction_causes[event.get("cause", "unknown")] += 1
+        if etype in _LIFECYCLE_TYPES:
+            proxy = event.get("proxy")
+            if proxy is not None:
+                summary.lifecycle_by_proxy.setdefault(proxy, Counter())[etype] += 1
+                if page is not None:
+                    summary.churning_subscribers[(proxy, page)] += 1
         if etype in _TIMELINE_TYPES:
             summary.timeline.append(event)
     if t_min is not None:

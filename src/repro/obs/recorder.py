@@ -78,6 +78,27 @@ class Observer:
             self._c_repair = c(
                 "repro_repair_fetches_total", "access-time staleness repairs"
             )
+            self._c_lease_sub = c(
+                "repro_lease_subscribes_total", "leases granted (subscribes)"
+            )
+            self._c_lease_renew = c(
+                "repro_lease_renewals_total", "in-time lease renewals"
+            )
+            self._c_lease_unsub = c(
+                "repro_lease_unsubscribes_total", "explicit unsubscribes"
+            )
+            self._c_lease_confirm = c(
+                "repro_lease_confirms_total", "handshake confirmations resolved"
+            )
+            self._c_lease_expire = c(
+                "repro_lease_expiries_total", "leases noticed lapsed"
+            )
+            self._c_handshake_lost = c(
+                "repro_handshakes_lost_total", "confirmation handshakes abandoned"
+            )
+            self._c_repoll = c(
+                "repro_repolls_total", "access-time lease re-poll repairs"
+            )
             self._c_evict = c("repro_evictions_total", "cache evictions")
             self._c_evict_bytes = c("repro_evicted_bytes_total", "bytes evicted")
             self._c_crash = c("repro_proxy_crashes_total", "proxy crash events")
@@ -277,6 +298,64 @@ class Observer:
             self._c_repair.inc()
         if self.tracer is not None:
             self.tracer.emit("repair", t, page=page, proxy=proxy, age=age)
+
+    # -- subscription lifecycle -------------------------------------------------
+
+    def lease_subscribe(self, t: float, page: int, proxy: int, lease: float) -> None:
+        """A (re-)subscribe granted a fresh lease of ``lease`` seconds."""
+        if self.registry is not None:
+            self._c_lease_sub.inc()
+        if self.tracer is not None:
+            self.tracer.emit("subscribe", t, page=page, proxy=proxy, lease=lease)
+
+    def lease_renewed(self, t: float, page: int, proxy: int, lease: float) -> None:
+        if self.registry is not None:
+            self._c_lease_renew.inc()
+        if self.tracer is not None:
+            self.tracer.emit("lease_renewed", t, page=page, proxy=proxy, lease=lease)
+
+    def lease_unsubscribe(self, t: float, page: int, proxy: int) -> None:
+        if self.registry is not None:
+            self._c_lease_unsub.inc()
+        if self.tracer is not None:
+            self.tracer.emit("unsubscribe", t, page=page, proxy=proxy)
+
+    def lease_confirmed(
+        self, t: float, page: int, proxy: int, latency: float
+    ) -> None:
+        """The confirmation handshake resolved ``latency`` seconds after
+        the subscribe/renew message (0 on a lossless handshake)."""
+        if self.registry is not None:
+            self._c_lease_confirm.inc()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "lease_confirmed", t, page=page, proxy=proxy, latency=latency
+            )
+
+    def lease_expired(self, t: float, page: int, proxy: int, where: str) -> None:
+        """A lapsed lease was noticed (lazily) at ``where``: publish,
+        access, event intake, or end-of-run accounting."""
+        if self.registry is not None:
+            self._c_lease_expire.inc()
+        if self.tracer is not None:
+            self.tracer.emit("lease_expired", t, page=page, proxy=proxy, where=where)
+
+    def handshake_lost(self, t: float, page: int, proxy: int, attempts: int) -> None:
+        """Every confirmation attempt was lost (or the retry queue shed
+        the handshake); the lease is stuck PENDING until re-poll."""
+        if self.registry is not None:
+            self._c_handshake_lost.inc()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "handshake_lost", t, page=page, proxy=proxy, attempts=attempts
+            )
+
+    def repoll(self, t: float, page: int, proxy: int, reason: str) -> None:
+        """An access re-polled the hub and repaired a dead lease."""
+        if self.registry is not None:
+            self._c_repoll.inc()
+        if self.tracer is not None:
+            self.tracer.emit("repoll", t, page=page, proxy=proxy, reason=reason)
 
     # -- cache churn -----------------------------------------------------------
 

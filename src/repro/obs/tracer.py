@@ -51,6 +51,14 @@ EVENT_TYPES = frozenset(
         "delivery_gap",
         "stale_served",
         "repair",
+        # subscription lifecycle (leases, handshakes, re-polls)
+        "subscribe",
+        "unsubscribe",
+        "lease_confirmed",
+        "lease_renewed",
+        "lease_expired",
+        "handshake_lost",
+        "repoll",
         # cache churn
         "evict",
         # component faults

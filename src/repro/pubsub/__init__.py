@@ -13,6 +13,12 @@ Fabret et al. (SIGMOD 2001): equality predicates resolve through
 inverted indexes and a per-event counter array determines which
 subscriptions are fully satisfied.
 
+Both :class:`~repro.pubsub.matching.MatchingEngine` and the
+:class:`~repro.pubsub.overlay.BrokerTree` leaf engines accept an
+optional ``lease_until`` per subscription: leased registrations are
+retired lazily during matching (or eagerly by ``expire_leases``),
+supporting the subscription-lifecycle layer of the simulator.
+
 The trace-driven simulator only needs *match counts per proxy*
 (eq. 7 of the paper constructs these from request counts and the
 subscription quality SQ); :class:`~repro.pubsub.matching.MatchingEngine`

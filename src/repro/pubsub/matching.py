@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import json
 from collections import defaultdict
-from typing import Dict, Iterable, List, Mapping, Protocol, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Protocol, Sequence, Set, Tuple
 
 from repro.pubsub.pages import Page
 from repro.pubsub.subscriptions import Subscription
@@ -61,14 +61,31 @@ class MatchingEngine:
         # subscription id -> its indexed terms, so unsubscribe touches
         # only the owning buckets instead of scanning the whole index.
         self._terms_by_sid: Dict[int, List[Tuple[str, object]]] = {}
+        # subscription id -> lease expiry time; absent means unleased
+        # (permanent).  Expiry is *lazy*: expired entries are retired
+        # when a match or an explicit expire_leases() sweep meets them.
+        self._lease_until: Dict[int, float] = {}
 
     # -- registration ---------------------------------------------------
 
-    def subscribe(self, subscription: Subscription) -> None:
-        """Register a subscription (idempotent per subscription_id)."""
+    def subscribe(
+        self, subscription: Subscription, lease_until: Optional[float] = None
+    ) -> None:
+        """Register a subscription (idempotent per subscription_id).
+
+        ``lease_until`` bounds the registration in simulated time;
+        re-subscribing an existing id updates (or clears) its lease
+        without touching the index.
+        """
         sid = subscription.subscription_id
         if sid in self._subscriptions:
+            if lease_until is None:
+                self._lease_until.pop(sid, None)
+            else:
+                self._lease_until[sid] = lease_until
             return
+        if lease_until is not None:
+            self._lease_until[sid] = lease_until
         self._subscriptions[sid] = subscription
         indexed_predicates = 0
         own_terms: List[Tuple[str, object]] = []
@@ -101,6 +118,7 @@ class MatchingEngine:
         del self._subscriptions[sid]
         self._required_hits.pop(sid, None)
         self._scan_list.discard(sid)
+        self._lease_until.pop(sid, None)
         for term in self._terms_by_sid.pop(sid, ()):
             bucket = self._index.get(term)
             if bucket is None:
@@ -117,10 +135,45 @@ class MatchingEngine:
     def subscription_count(self) -> int:
         return len(self._subscriptions)
 
+    # -- leases ----------------------------------------------------------
+
+    def renew_lease(self, subscription_id: int, lease_until: float) -> bool:
+        """Extend a registered subscription's lease; False if unknown."""
+        if subscription_id not in self._subscriptions:
+            return False
+        self._lease_until[subscription_id] = lease_until
+        return True
+
+    def lease_expiry(self, subscription_id: int) -> Optional[float]:
+        """The lease deadline for ``subscription_id`` (None = unleased)."""
+        return self._lease_until.get(subscription_id)
+
+    def expire_leases(self, now: float) -> int:
+        """Retire every subscription whose lease deadline has passed.
+
+        Returns the number retired.  This is the eager sweep; matching
+        also retires lapsed candidates lazily, so calling this is an
+        optimization (bounding index size under churn), not a
+        correctness requirement.
+        """
+        lapsed = [
+            sid for sid, until in self._lease_until.items() if until <= now
+        ]
+        for sid in lapsed:
+            self.unsubscribe(self._subscriptions[sid])
+        return len(lapsed)
+
     # -- matching ---------------------------------------------------------
 
-    def matching_subscriptions(self, page: Page) -> List[Subscription]:
-        """All registered subscriptions matching ``page``."""
+    def matching_subscriptions(
+        self, page: Page, now: Optional[float] = None
+    ) -> List[Subscription]:
+        """All registered subscriptions matching ``page``.
+
+        When ``now`` is given, candidates whose lease deadline has
+        passed (``lease_until <= now``) are retired on the spot (lazy
+        expiry) and never reported as matches.
+        """
         hits: Dict[int, int] = defaultdict(int)
         page_terms = list(page.attribute_dict.items())
         for term in page_terms:
@@ -137,17 +190,27 @@ class MatchingEngine:
                 candidates.add(sid)
 
         matched = []
+        stale: List[int] = []
         for sid in candidates:
+            if now is not None:
+                until = self._lease_until.get(sid)
+                if until is not None and until <= now:
+                    stale.append(sid)
+                    continue
             subscription = self._subscriptions[sid]
             if subscription.matches(page):
                 matched.append(subscription)
+        for sid in stale:
+            self.unsubscribe(self._subscriptions[sid])
         matched.sort(key=lambda sub: sub.subscription_id)
         return matched
 
-    def match_counts(self, page: Page) -> Dict[int, int]:
+    def match_counts(
+        self, page: Page, now: Optional[float] = None
+    ) -> Dict[int, int]:
         """Per-proxy count of subscriptions matching ``page``."""
         counts: Dict[int, int] = defaultdict(int)
-        for subscription in self.matching_subscriptions(page):
+        for subscription in self.matching_subscriptions(page, now=now):
             counts[subscription.proxy_id] += 1
         return dict(counts)
 

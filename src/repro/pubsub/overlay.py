@@ -110,16 +110,23 @@ class BrokerTree:
 
     # -- flow 1: subscribe with upward aggregation -------------------------
 
-    def subscribe(self, subscription: Subscription) -> int:
+    def subscribe(
+        self, subscription: Subscription, lease_until: Optional[float] = None
+    ) -> int:
         """Register a subscription at the subscriber's local broker and
         propagate the (deduplicated) interest toward the root.
+
+        ``lease_until`` bounds only the *leaf* registration: aggregated
+        upstream copies stay unleased, consistent with the stale-
+        aggregate policy of :meth:`unsubscribe` (an expired lease costs
+        wasted descent, never a wrong match count).
 
         Returns the number of upward control messages this subscription
         caused — 0 when every broker on the path had already forwarded
         an identical predicate set (the covering win).
         """
         broker = self.broker_for_proxy(subscription.proxy_id)
-        broker.engine.subscribe(subscription)
+        broker.engine.subscribe(subscription, lease_until=lease_until)
         messages = 0
         predicates = subscription.predicates
         current = broker
@@ -164,14 +171,23 @@ class BrokerTree:
         broker = self.broker_for_proxy(subscription.proxy_id)
         broker.engine.unsubscribe(subscription)
 
+    def expire_leases(self, now: float) -> int:
+        """Sweep every leaf engine's lapsed leases; returns total retired."""
+        return sum(
+            broker.engine.expire_leases(now) for broker in self._nodes.values()
+        )
+
     # -- flow 2+3: publish, match hop by hop, notify ------------------------
 
-    def match_counts(self, page: Page) -> Dict[int, int]:
+    def match_counts(
+        self, page: Page, now: Optional[float] = None
+    ) -> Dict[int, int]:
         """Per-proxy match counts, computed by tree descent.
 
         Only branches whose broker has at least one matching interest
         are descended into; every visited broker pays one matching
-        evaluation (the distributed-work measurement).
+        evaluation (the distributed-work measurement).  ``now`` enables
+        lazy lease expiry during the descent.
         """
         self.published_count += 1
         counts: Dict[int, int] = defaultdict(int)
@@ -179,7 +195,7 @@ class BrokerTree:
         while frontier:
             broker = frontier.pop()
             broker.match_evaluations += 1
-            matched = broker.engine.matching_subscriptions(page)
+            matched = broker.engine.matching_subscriptions(page, now=now)
             if not matched:
                 continue
             matched_proxies = {sub.proxy_id for sub in matched}

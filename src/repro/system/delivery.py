@@ -65,6 +65,16 @@ def staleness_age_bin(age: float) -> int:
     return len(STALENESS_AGE_BIN_EDGES)
 
 
+def capped_backoff(base: float, cap: float, attempt: int) -> float:
+    """Exponential backoff for retry ``attempt`` (0-based), capped.
+
+    The retry timing rule shared by the delivery retransmit protocol
+    and the subscription confirmation handshake: ``base`` doubles per
+    attempt up to ``cap``.
+    """
+    return min(base * (2.0 ** attempt), cap)
+
+
 @dataclass(frozen=True)
 class DeliveryPlan:
     """The resolved fate of one notification send.
@@ -170,11 +180,9 @@ class ReliableDelivery:
                         queue_overflow=True,
                         duplicate_time=None,
                     )
-            backoff = min(
-                spec.delivery_ack_timeout * (2.0 ** attempt),
-                spec.delivery_backoff_cap,
+            at += capped_backoff(
+                spec.delivery_ack_timeout, spec.delivery_backoff_cap, attempt
             )
-            at += backoff
 
         queued = loss_events > 0 and spec.delivery_retry_limit > 0
         if not delivered:

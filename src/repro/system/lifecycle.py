@@ -1,0 +1,376 @@
+"""Subscription lifecycle: leases, confirmation handshakes, re-polls.
+
+The paper's subscription base is frozen for a run; this layer makes it
+a moving part.  Each (page, proxy) subscription cell follows the leased
+lifecycle of hub protocols (PubSubHubbub-style)::
+
+    subscribe ──► PENDING ──confirm──► CONFIRMED ──renew──► CONFIRMED
+                     │                     │
+                     │ (handshake lost,    │ (no renewal arrives)
+                     │  retries exhausted) ▼
+                     │                  EXPIRED ──re-poll──► CONFIRMED
+                     ▼
+               (repaired on next access)         unsubscribe ──► UNSUBSCRIBED
+
+* **Handshake**: a ``subscribe``/``renew`` message is only effective
+  once the hub's confirmation arrives.  Each confirmation attempt can
+  be lost (:attr:`~repro.workload.churn.ChurnSpec.confirmation_loss_probability`,
+  drawn from the dedicated ``"faults.lifecycle"`` stream) and is
+  retried with capped exponential backoff — the same
+  :func:`~repro.system.delivery.capped_backoff` rule the reliable-
+  delivery retransmit protocol uses.  Like
+  :meth:`~repro.system.delivery.ReliableDelivery.plan`, the whole
+  attempt timeline is resolved *analytically* at event time; the lease
+  stays PENDING until the resolved confirmation instant passes.
+* **Per-subscriber work queues**: retried handshakes occupy a slot in
+  the proxy's bounded :class:`SubscriberQueue` until they resolve; a
+  handshake arriving at a full queue is abandoned (overload shedding)
+  and the lease is stuck PENDING.
+* **Lazy expiry**: nobody fires an event at lease expiry.  A lapsed
+  lease is noticed when something touches it — a publication (the push
+  is suppressed), an access, or end-of-run accounting.
+* **Re-poll repair**: an access to a lapsed or stuck-PENDING cell
+  re-polls the hub and restores a confirmed lease on the spot, so no
+  subscriber permanently loses notifications — the lifecycle analogue
+  of the delivery layer's access-time staleness repair.
+
+Observability hooks are emitted directly by the manager (they never
+touch RNG); all randomness stays in the one dedicated stream, which is
+never even derived when the loss probability is zero — the bit-identity
+discipline shared with the other fault layers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.recorder import NULL_OBSERVER, Observer
+from repro.system.delivery import capped_backoff
+from repro.workload.churn import ChurnSpec, LifecycleRecord
+
+#: Renewal-latency histogram bin edges (seconds from renew/subscribe to
+#: confirmation); a lossless handshake confirms at latency 0.  The last
+#: bin is the overflow beyond the final edge.
+RENEWAL_LATENCY_BIN_EDGES: List[float] = [0.5, 1.0, 2.0, 5.0, 15.0, 60.0]
+
+#: Lease states.  EXPIRED is assigned lazily; a lease whose deadline
+#: passed but that nothing touched yet still carries its old status.
+PENDING = "pending"
+CONFIRMED = "confirmed"
+EXPIRED = "expired"
+UNSUBSCRIBED = "unsubscribed"
+
+#: Sentinel confirmation instant for an abandoned handshake.
+NEVER = float("inf")
+
+
+def renewal_latency_bin(latency: float) -> int:
+    """Histogram bin index for one confirmation-latency sample."""
+    for index, edge in enumerate(RENEWAL_LATENCY_BIN_EDGES):
+        if latency <= edge:
+            return index
+    return len(RENEWAL_LATENCY_BIN_EDGES)
+
+
+class _Lease:
+    """Mutable lifecycle state of one (page, proxy) subscription cell."""
+
+    __slots__ = ("status", "expires_at", "confirmed_at")
+
+    def __init__(self, status: str, expires_at: float, confirmed_at: float) -> None:
+        self.status = status
+        self.expires_at = expires_at
+        self.confirmed_at = confirmed_at
+
+
+class SubscriberQueue:
+    """Bounded per-proxy queue of in-flight handshake retries.
+
+    Mirrors the reliable-delivery retransmit queue: a min-heap of
+    resolution times, drained lazily (the simulator processes lifecycle
+    events in nondecreasing time order), with overload shedding when
+    full.  Tracks its own failure/peak/overflow statistics.
+    """
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self._pending: List[float] = []
+        #: Handshake attempts lost at this proxy.
+        self.failures = 0
+        #: Largest concurrent in-flight handshake count observed.
+        self.peak = 0
+        #: Handshakes abandoned because the queue was full.
+        self.overflows = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def drain(self, now: float) -> None:
+        """Free slots whose handshakes have resolved by ``now``."""
+        while self._pending and self._pending[0] <= now:
+            heapq.heappop(self._pending)
+
+    @property
+    def full(self) -> bool:
+        return len(self._pending) >= self.limit
+
+    def admit(self, resolve_at: float) -> None:
+        heapq.heappush(self._pending, resolve_at)
+        if len(self._pending) > self.peak:
+            self.peak = len(self._pending)
+
+
+class LifecycleManager:
+    """Per-run lease state for every subscription cell.
+
+    The simulator consults it on every publish (``deliverable``: may a
+    notification go to this proxy?) and every request (``on_access``:
+    re-poll repair of lapsed state), and feeds it the trace's lifecycle
+    records (``on_event``).
+    """
+
+    def __init__(
+        self,
+        spec: ChurnSpec,
+        server_count: int,
+        rng: Optional[np.random.Generator] = None,
+        observer: Optional[Observer] = None,
+        obs_on: bool = False,
+    ) -> None:
+        self.spec = spec
+        self._rng = rng
+        self.obs = observer if observer is not None else NULL_OBSERVER
+        self._obs_on = obs_on and self.obs.enabled
+        self._leases: Dict[Tuple[int, int], _Lease] = {}
+        self._queues: List[SubscriberQueue] = [
+            SubscriberQueue(spec.queue_limit) for _ in range(server_count)
+        ]
+        # -- counters -----------------------------------------------------
+        self.events = 0
+        self.granted = 0
+        self.renewed = 0
+        self.unsubscribed = 0
+        self.expired = 0
+        self.handshake_losses = 0
+        self.handshakes_abandoned = 0
+        self.lease_repolls = 0
+        self.handshake_repairs = 0
+        self.renewal_latency_counts: List[int] = [0] * (
+            len(RENEWAL_LATENCY_BIN_EDGES) + 1
+        )
+
+    # -- queue statistics ----------------------------------------------------
+
+    @property
+    def queue_overflows(self) -> int:
+        return sum(queue.overflows for queue in self._queues)
+
+    @property
+    def queue_peak(self) -> int:
+        return max((queue.peak for queue in self._queues), default=0)
+
+    # -- handshake resolution --------------------------------------------------
+
+    def _resolve_handshake(self, server_id: int, now: float) -> float:
+        """When the confirmation for a message sent at ``now`` lands.
+
+        Walks the attempt timeline analytically: each attempt's loss is
+        one draw from the lifecycle stream, retries back off with the
+        shared capped-doubling rule.  Returns :data:`NEVER` when every
+        attempt is lost or the proxy's handshake queue sheds the retry.
+        """
+        spec = self.spec
+        loss = spec.confirmation_loss_probability
+        if loss <= 0.0 or self._rng is None:
+            return now
+        queue = self._queues[server_id]
+        queue.drain(now)
+        at = now
+        losses = 0
+        confirmed = False
+        for attempt in range(spec.confirm_retry_limit + 1):
+            if float(self._rng.random()) >= loss:
+                confirmed = True
+                break
+            losses += 1
+            if attempt == 0 and spec.confirm_retry_limit > 0 and queue.full:
+                # No slot to retry from: the handshake is shed.
+                queue.failures += losses
+                queue.overflows += 1
+                self.handshake_losses += losses
+                self.handshakes_abandoned += 1
+                return NEVER
+            at += capped_backoff(
+                spec.confirm_timeout, spec.confirm_backoff_cap, attempt
+            )
+        queue.failures += losses
+        self.handshake_losses += losses
+        if losses and spec.confirm_retry_limit > 0:
+            queue.admit(at)
+        if not confirmed:
+            self.handshakes_abandoned += 1
+            return NEVER
+        return at
+
+    # -- event intake ----------------------------------------------------------
+
+    def on_event(self, record: LifecycleRecord, now: float) -> None:
+        """Apply one trace lifecycle record at simulation time ``now``."""
+        self.events += 1
+        key = (record.server_id, record.page_id)
+        obs_on = self._obs_on
+        if record.kind == "unsubscribe":
+            self.unsubscribed += 1
+            lease = self._leases.get(key)
+            if lease is None:
+                lease = _Lease(UNSUBSCRIBED, now, now)
+                self._leases[key] = lease
+            else:
+                self._touch(key, lease, now, "event")
+                lease.status = UNSUBSCRIBED
+            if obs_on:
+                self.obs.lease_unsubscribe(now, record.page_id, record.server_id)
+            return
+
+        # subscribe / renew: start a fresh lease behind a handshake.
+        confirmed_at = self._resolve_handshake(record.server_id, now)
+        if record.kind == "renew":
+            self.renewed += 1
+            if obs_on:
+                self.obs.lease_renewed(
+                    now, record.page_id, record.server_id, record.lease
+                )
+            if confirmed_at != NEVER:
+                self._sample_renewal_latency(confirmed_at - now)
+        else:
+            self.granted += 1
+            if obs_on:
+                self.obs.lease_subscribe(
+                    now, record.page_id, record.server_id, record.lease
+                )
+        lease = self._leases.get(key)
+        if lease is not None:
+            self._touch(key, lease, now, "event")
+            lease.status = PENDING
+            lease.expires_at = now + record.lease
+            lease.confirmed_at = confirmed_at
+        else:
+            self._leases[key] = _Lease(PENDING, now + record.lease, confirmed_at)
+        if obs_on:
+            if confirmed_at == NEVER:
+                self.obs.handshake_lost(
+                    now, record.page_id, record.server_id,
+                    self.spec.confirm_retry_limit + 1,
+                )
+            else:
+                self.obs.lease_confirmed(
+                    now, record.page_id, record.server_id, confirmed_at - now
+                )
+
+    def _sample_renewal_latency(self, latency: float) -> None:
+        self.renewal_latency_counts[renewal_latency_bin(latency)] += 1
+
+    # -- lazy state maintenance -------------------------------------------------
+
+    def _touch(
+        self, key: Tuple[int, int], lease: _Lease, now: float, where: str
+    ) -> None:
+        """Advance one lease's lazy transitions up to ``now``.
+
+        Promotes a PENDING lease whose confirmation instant has passed,
+        then retires it if its deadline has too.  Each expiry is counted
+        exactly once (the status transition is the latch).
+        """
+        if lease.status == PENDING and lease.confirmed_at <= now:
+            lease.status = CONFIRMED
+        if lease.status in (PENDING, CONFIRMED) and lease.expires_at <= now:
+            lease.status = EXPIRED
+            self.expired += 1
+            if self._obs_on:
+                self.obs.lease_expired(now, key[1], key[0], where)
+
+    # -- publish-path gate --------------------------------------------------------
+
+    def deliverable(
+        self, server_id: int, page_id: int, now: float
+    ) -> Tuple[bool, str]:
+        """Whether a notification may be pushed to this cell at ``now``.
+
+        Returns ``(allowed, reason)``; ``reason`` names the suppression
+        cause when not allowed (fed to the ``push_suppressed`` trace
+        event).  Touching the lease performs the lazy expiry.
+        """
+        key = (server_id, page_id)
+        lease = self._leases.get(key)
+        if lease is None:
+            return False, "no-lease"
+        self._touch(key, lease, now, "publish")
+        if lease.status == CONFIRMED:
+            return True, ""
+        if lease.status == UNSUBSCRIBED:
+            return False, "unsubscribed"
+        if lease.status == EXPIRED:
+            return False, "lease-expired"
+        return False, "lease-pending"
+
+    # -- access-path repair --------------------------------------------------------
+
+    def on_access(
+        self, server_id: int, page_id: int, now: float
+    ) -> Optional[str]:
+        """Re-poll repair hook, called on every user request.
+
+        A request against a lapsed or stuck-PENDING cell re-polls the
+        hub: the subscriber learns its lease silently died and comes
+        back with a fresh confirmed lease of the nominal duration (no
+        RNG draw — re-poll is deterministic repair, not workload).
+
+        Returns the repair kind (``"expired"`` or ``"handshake"``) when
+        a repair happened, ``None`` on an untouched/healthy/unsubscribed
+        cell.
+        """
+        key = (server_id, page_id)
+        lease = self._leases.get(key)
+        if lease is None:
+            return None
+        self._touch(key, lease, now, "access")
+        if lease.status == CONFIRMED or lease.status == UNSUBSCRIBED:
+            return None
+        if lease.status == EXPIRED:
+            kind = "expired"
+            self.lease_repolls += 1
+        else:
+            # PENDING with an unresolved (future or abandoned)
+            # confirmation: the access doubles as the confirmation.
+            kind = "handshake"
+            self.handshake_repairs += 1
+        lease.status = CONFIRMED
+        lease.confirmed_at = now
+        lease.expires_at = now + self.spec.lease_duration
+        if self._obs_on:
+            self.obs.repoll(now, page_id, server_id, kind)
+        return kind
+
+    # -- end-of-run accounting -------------------------------------------------------
+
+    def finalize(self, horizon: float) -> Dict[str, int]:
+        """Settle every lease at ``horizon`` and count the end states.
+
+        Touches every cell (so leases that lapsed unobserved still get
+        their expiry counted) and returns the end-state census.
+        """
+        counts = {"active": 0, "pending": 0, "expired": 0, "unsubscribed": 0}
+        for key, lease in self._leases.items():
+            self._touch(key, lease, horizon, "end")
+            if lease.status == CONFIRMED:
+                counts["active"] += 1
+            elif lease.status == PENDING:
+                counts["pending"] += 1
+            elif lease.status == EXPIRED:
+                counts["expired"] += 1
+            else:
+                counts["unsubscribed"] += 1
+        return counts

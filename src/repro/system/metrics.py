@@ -158,6 +158,45 @@ class SimulationResult:
     staleness_age_bin_edges: List[float] = field(default_factory=list)
     staleness_age_counts: List[int] = field(default_factory=list)
 
+    # -- subscription-lifecycle metrics (all zero without churn) -----------
+
+    #: Lifecycle trace records processed (subscribe + renew + unsubscribe).
+    lifecycle_events: int = 0
+    #: Fresh leases granted (initial and comeback subscribes).
+    leases_granted: int = 0
+    #: In-time lease renewals.
+    leases_renewed: int = 0
+    #: Leases that lapsed (noticed lazily at publish/access/run end).
+    leases_expired: int = 0
+    #: Explicit unsubscribes.
+    leases_unsubscribed: int = 0
+    #: Individual confirmation-handshake messages lost.
+    handshake_losses: int = 0
+    #: Handshakes abandoned (retries exhausted or queue shed): the lease
+    #: stayed PENDING until an access-time re-poll.
+    handshakes_abandoned: int = 0
+    #: Lapsed leases repaired by an access-time re-poll.
+    lease_repolls: int = 0
+    #: Stuck-PENDING handshakes resolved by an access-time re-poll.
+    handshake_repairs: int = 0
+    #: Re-polls that found the proxy's cached copy behind the origin —
+    #: the notifications it missed while unleased had real cost.
+    churn_stale_serves: int = 0
+    #: Publish-side pushes suppressed for lease reasons (no lease,
+    #: pending, expired, unsubscribed).
+    pushes_suppressed_no_lease: int = 0
+    #: Lease-state census at the end of the run.
+    active_leases_end: int = 0
+    pending_leases_end: int = 0
+    expired_leases_end: int = 0
+    #: Handshake work-queue statistics across proxies.
+    lifecycle_queue_overflows: int = 0
+    lifecycle_queue_peak: int = 0
+    #: Confirmation-latency histogram over renewals (same edge/overflow
+    #: convention as the staleness-age histogram).
+    renewal_latency_bin_edges: List[float] = field(default_factory=list)
+    renewal_latency_counts: List[int] = field(default_factory=list)
+
     @property
     def hit_ratio(self) -> float:
         """Global H (eq. 8), in [0, 1]."""
@@ -241,6 +280,17 @@ class SimulationResult:
             return 0.0
         return self.stale_hits_served / self.requests
 
+    @property
+    def lease_repair_ratio(self) -> float:
+        """Fraction of lapsed/stuck leases healed by re-poll, in [0, 1].
+
+        1.0 also when nothing ever lapsed (a healthy churn-free run).
+        """
+        broken = self.leases_expired + self.handshakes_abandoned
+        if broken == 0:
+            return 1.0
+        return min(1.0, (self.lease_repolls + self.handshake_repairs) / broken)
+
     def hourly_hit_ratio(self) -> List[float]:
         """H per hour (Fig. 6); hours without requests yield 0.0."""
         ratios = []
@@ -286,5 +336,12 @@ class SimulationResult:
                 f"retrans={self.notifications_retransmitted} "
                 f"stale_served={self.stale_hits_served} "
                 f"repairs={self.repair_fetches}"
+            )
+        if self.lifecycle_events:
+            text += (
+                f" | leases={self.leases_granted}+{self.leases_renewed}r"
+                f"/{self.leases_expired}x "
+                f"repolls={self.lease_repolls + self.handshake_repairs} "
+                f"suppressed={self.pushes_suppressed_no_lease}"
             )
         return text

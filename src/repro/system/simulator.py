@@ -68,14 +68,20 @@ from repro.pubsub.routing import SequenceTracker
 from repro.sim.engine import Environment, NORMAL, URGENT
 from repro.sim.rng import RandomStreams
 from repro.system.config import PushingScheme, SimulationConfig
+from repro.faults import LIFECYCLE_STREAM
 from repro.system.delivery import (
     STALENESS_AGE_BIN_EDGES,
     ReliableDelivery,
     staleness_age_bin,
 )
+from repro.system.lifecycle import (
+    RENEWAL_LATENCY_BIN_EDGES,
+    LifecycleManager,
+)
 from repro.system.metrics import SimulationResult, dense_clamped
 from repro.system.proxy import ProxyServer
 from repro.system.publisher import Publisher
+from repro.workload.churn import LifecycleRecord
 from repro.workload.subscriptions import build_match_counts
 from repro.workload.trace import Workload
 
@@ -251,6 +257,32 @@ class Simulation:
         self._stale_served_by_hour: Dict[int, int] = {}
         self._staleness_age_counts = [0] * (len(STALENESS_AGE_BIN_EDGES) + 1)
 
+        # -- subscription-lifecycle layer -----------------------------------
+        # Engaged only when the workload carries lifecycle events; a
+        # churn-free trace allocates nothing here and never derives the
+        # lifecycle stream, so the publish/request paths below behave —
+        # and draw — exactly as before (bit identity).
+        self._churn_on = bool(workload.lifecycle)
+        self._lifecycle: Optional[LifecycleManager] = None
+        self._pushes_suppressed_no_lease = 0
+        self._churn_stale_serves = 0
+        if self._churn_on:
+            churn_spec = workload.churn
+            if churn_spec is None:
+                from repro.workload.churn import ChurnSpec
+
+                churn_spec = ChurnSpec()
+            lifecycle_rng = None
+            if churn_spec.confirmation_loss_probability > 0.0:
+                lifecycle_rng = streams.stream(LIFECYCLE_STREAM)
+            self._lifecycle = LifecycleManager(
+                churn_spec,
+                workload.config.server_count,
+                rng=lifecycle_rng,
+                observer=self.obs,
+                obs_on=self._obs_on,
+            )
+
     # -- fault hooks (called by the FaultInjector) --------------------------
 
     def on_proxy_crash(self, server_id: int, now: float) -> None:
@@ -284,6 +316,15 @@ class Simulation:
 
     # -- event handlers ---------------------------------------------------
 
+    def _handle_lifecycle(
+        self, record: LifecycleRecord, _unused, now: float
+    ) -> None:
+        """One subscription lifecycle record from the trace."""
+        if self._obs_on:
+            self._obs_now = now
+        self._lifecycle.on_event(record, now)
+        self._maybe_check_invariants()
+
     def _handle_publish(self, page_id: int, version: int, now: float) -> None:
         obs_on = self._obs_on
         self.publisher.publish(page_id, version, now)
@@ -293,10 +334,23 @@ class Simulation:
             self.obs.publish(now, page_id, version, size)
         origin_down = self._faults_on and self.fault_schedule.publisher_down(now)
         delivery_on = self._delivery_on
+        churn_on = self._churn_on
         for server_id, match_count in self._matches_by_page.get(page_id, ()):
             proxy = self.proxies[server_id]
             if obs_on:
                 self.obs.match(now, page_id, server_id, match_count)
+            if churn_on:
+                allowed, reason = self._lifecycle.deliverable(
+                    server_id, page_id, now
+                )
+                if not allowed:
+                    # The cell holds no confirmed lease right now: the
+                    # hub does not notify it.  The proxy keeps serving
+                    # its cache and repairs state on the next access.
+                    self._pushes_suppressed_no_lease += 1
+                    if obs_on:
+                        self.obs.push_suppressed(now, page_id, server_id, reason)
+                    continue
             if origin_down or (not delivery_on and not proxy.up):
                 # No distribution path: the origin cannot send, or the
                 # proxy cannot receive.  The page stays authoritative at
@@ -471,6 +525,8 @@ class Simulation:
         if obs_on:
             self._obs_now = now
             self.obs.request(now, page_id, server_id)
+        if self._churn_on:
+            self._lifecycle_access(server_id, page_id, version, now)
         if self._faults_on:
             self._handle_request_faulty(
                 proxy, server_id, page_id, version, size, match_count, now
@@ -489,6 +545,34 @@ class Simulation:
                 if not outcome.hit:
                     self.obs.fetch(now, page_id, server_id)
         self._maybe_check_invariants()
+
+    def _lifecycle_access(
+        self, server_id: int, page_id: int, version: int, now: float
+    ) -> None:
+        """Re-poll repair: the access heals lapsed subscription state.
+
+        Runs *before* the request is served (and before the silently-
+        stale path), so a subscriber whose lease silently expired never
+        permanently loses notifications: the re-poll restores a
+        confirmed lease and — with the delivery protocol engaged —
+        teaches the proxy's sequence tracker the current version, which
+        routes a lagging cached copy through the ordinary stale-miss
+        path instead of the silently-stale one.
+        """
+        repair = self._lifecycle.on_access(server_id, page_id, now)
+        if repair is None:
+            return
+        proxy = self.proxies[server_id]
+        policy = proxy.policy
+        cached = (
+            policy.cached_version(page_id) if policy.contains(page_id) else None
+        )
+        if cached is not None and cached < version:
+            # The missed notifications had real cost: the proxy's copy
+            # is behind the origin at repair time.
+            self._churn_stale_serves += 1
+        if self._delivery_on:
+            self._seq_trackers[server_id].learn(page_id, version)
 
     # -- degraded request handling -----------------------------------------
 
@@ -797,19 +881,47 @@ class Simulation:
     # -- main entry ----------------------------------------------------------
 
     def _static_stream(self):
-        """Two-pointer merge of the publish and request streams.
+        """Multi-pointer merge of the static trace streams.
 
         Yields ``(time, priority, handler, a, b)`` records in exactly
         the order the legacy agenda would pop them: nondecreasing
-        ``(time, priority)``, publishes (URGENT) winning time ties over
-        requests (NORMAL), and each stream's own pre-sorted order
-        breaking full ties (which matches the legacy path's insertion
-        sequence, publishes scheduled first).
+        ``(time, priority)``, URGENT records (lifecycle events, then
+        publishes) winning time ties over requests (NORMAL), and each
+        stream's own pre-sorted order breaking full ties (which matches
+        the legacy path's insertion sequence — lifecycle scheduled
+        first, then publishes, then requests).
+
+        On a churn-free trace this degenerates to the original
+        two-pointer publish/request merge.
         """
         publishes = self.workload.publishes
         requests = self.workload.requests
         handle_publish = self._handle_publish
         handle_request = self._handle_request
+        if self.workload.lifecycle:
+            urgent = self._urgent_stream()
+            j, request_count = 0, len(requests)
+            pending = next(urgent, None)
+            while pending is not None and j < request_count:
+                request = requests[j]
+                # A request precedes an URGENT record only at a strictly
+                # earlier time; on a tie URGENT beats NORMAL.
+                if request.time < pending[0]:
+                    yield (request.time, NORMAL, handle_request,
+                           request.server_id, request.page_id)
+                    j += 1
+                else:
+                    yield pending
+                    pending = next(urgent, None)
+            while pending is not None:
+                yield pending
+                pending = next(urgent, None)
+            while j < request_count:
+                request = requests[j]
+                yield (request.time, NORMAL, handle_request,
+                       request.server_id, request.page_id)
+                j += 1
+            return
         i, publish_count = 0, len(publishes)
         j, request_count = 0, len(requests)
         while i < publish_count and j < request_count:
@@ -836,6 +948,39 @@ class Simulation:
                    request.server_id, request.page_id)
             j += 1
 
+    def _urgent_stream(self):
+        """Lifecycle events merged with publishes, both URGENT.
+
+        Lifecycle records win time ties against publishes, matching the
+        agenda path where they are scheduled first (lower sequence
+        numbers at equal ``(time, priority)``).
+        """
+        lifecycle = self.workload.lifecycle
+        publishes = self.workload.publishes
+        handle_lifecycle = self._handle_lifecycle
+        handle_publish = self._handle_publish
+        i, lifecycle_count = 0, len(lifecycle)
+        j, publish_count = 0, len(publishes)
+        while i < lifecycle_count and j < publish_count:
+            event = lifecycle[i]
+            publish = publishes[j]
+            if publish.time < event.time:
+                yield (publish.time, URGENT, handle_publish,
+                       publish.page_id, publish.version)
+                j += 1
+            else:
+                yield (event.time, URGENT, handle_lifecycle, event, None)
+                i += 1
+        while i < lifecycle_count:
+            event = lifecycle[i]
+            yield (event.time, URGENT, handle_lifecycle, event, None)
+            i += 1
+        while j < publish_count:
+            publish = publishes[j]
+            yield (publish.time, URGENT, handle_publish,
+                   publish.page_id, publish.version)
+            j += 1
+
     def run(self) -> SimulationResult:
         """Replay the whole trace and collect the metrics."""
         started = time.perf_counter()
@@ -860,6 +1005,17 @@ class Simulation:
         fast = self.config.replay == "fast"
         with obs.span("sim.schedule"):
             if not fast:
+                # Lifecycle events first: at equal (time, priority)
+                # their lower agenda sequence numbers make them win
+                # ties against publishes, matching the fast path.
+                for record in self.workload.lifecycle:
+                    env.schedule(
+                        record.time,
+                        lambda _env, r=record: (
+                            self._handle_lifecycle(r, None, _env.now)
+                        ),
+                        priority=URGENT,
+                    )
                 for event in self.workload.publishes:
                     env.schedule(
                         event.time,
@@ -1003,6 +1159,27 @@ class Simulation:
             result.hourly_repair_bytes = dense(self.publisher.repair_bytes_by_hour)
             result.staleness_age_bin_edges = list(STALENESS_AGE_BIN_EDGES)
             result.staleness_age_counts = list(self._staleness_age_counts)
+        if self._churn_on:
+            manager = self._lifecycle
+            census = manager.finalize(self.workload.config.horizon)
+            result.lifecycle_events = manager.events
+            result.leases_granted = manager.granted
+            result.leases_renewed = manager.renewed
+            result.leases_expired = manager.expired
+            result.leases_unsubscribed = manager.unsubscribed
+            result.handshake_losses = manager.handshake_losses
+            result.handshakes_abandoned = manager.handshakes_abandoned
+            result.lease_repolls = manager.lease_repolls
+            result.handshake_repairs = manager.handshake_repairs
+            result.churn_stale_serves = self._churn_stale_serves
+            result.pushes_suppressed_no_lease = self._pushes_suppressed_no_lease
+            result.active_leases_end = census["active"]
+            result.pending_leases_end = census["pending"]
+            result.expired_leases_end = census["expired"]
+            result.lifecycle_queue_overflows = manager.queue_overflows
+            result.lifecycle_queue_peak = manager.queue_peak
+            result.renewal_latency_bin_edges = list(RENEWAL_LATENCY_BIN_EDGES)
+            result.renewal_latency_counts = list(manager.renewal_latency_counts)
         if self._obs_on and self.obs.profiler is not None:
             result.profile = self.obs.profiler.summary()
         if self._obs_on:

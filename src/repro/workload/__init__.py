@@ -28,9 +28,10 @@ configurations, with a ``scale`` knob for laptop-sized runs.
 
 from repro.workload.config import WorkloadConfig
 from repro.workload.trace import Workload, PageSpec, PublishRecord, RequestRecord, generate_workload
+from repro.workload.churn import ChurnSpec, LifecycleRecord, generate_churn, churn_statistics
 from repro.workload.subscriptions import build_match_counts
 from repro.workload.presets import news_config, alternative_config
-from repro.workload.validate import ValidationReport, validate_workload
+from repro.workload.validate import ValidationReport, validate_workload, validate_churn_spec
 
 __all__ = [
     "WorkloadConfig",
@@ -39,9 +40,14 @@ __all__ = [
     "PublishRecord",
     "RequestRecord",
     "generate_workload",
+    "ChurnSpec",
+    "LifecycleRecord",
+    "generate_churn",
+    "churn_statistics",
     "build_match_counts",
     "news_config",
     "alternative_config",
     "ValidationReport",
     "validate_workload",
+    "validate_churn_spec",
 ]

@@ -11,8 +11,10 @@ can be reused across the Fig. 5 quality sweep.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field, asdict
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field, asdict, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.sim.rng import RandomStreams
 from repro.workload.config import WorkloadConfig
@@ -24,6 +26,10 @@ from repro.workload.requests import (
 )
 from repro.workload.servers import assign_servers
 from repro.workload.sizes import generate_sizes
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (churn imports
+    # validate, which imports this module); runtime imports are local.
+    from repro.workload.churn import ChurnSpec, LifecycleRecord
 
 
 @dataclass(frozen=True)
@@ -68,6 +74,11 @@ class Workload:
     requests: List[RequestRecord]
     #: name of the preset that produced this trace ("news", ...), if any.
     label: str = ""
+    #: Subscription lifecycle events (subscribe/renew/unsubscribe), a
+    #: third time-sorted static stream; empty on a churn-free trace.
+    lifecycle: List["LifecycleRecord"] = field(default_factory=list)
+    #: The churn parameters that produced ``lifecycle`` (None = off).
+    churn: Optional["ChurnSpec"] = None
     _request_pairs: List[Tuple[int, int]] = field(default_factory=list, repr=False)
 
     @property
@@ -137,6 +148,26 @@ class Workload:
             capacities[server] = max(1, int(base * fraction))
         return capacities
 
+    # -- subscription churn ---------------------------------------------------
+
+    def with_churn(
+        self, spec: "ChurnSpec", rng: np.random.Generator
+    ) -> "Workload":
+        """A copy of this workload with the lifecycle stream attached.
+
+        Churn is generated *after* the base trace (from the request
+        pairs, using its own dedicated stream), so attaching it never
+        perturbs the publish/request streams — the base trace stays
+        bit-identical and artifact-cache entries keyed on the churn-free
+        parameters remain valid.
+        """
+        from repro.workload.churn import generate_churn
+
+        events = generate_churn(
+            self.request_pairs(), self.config.horizon, spec, rng
+        )
+        return replace(self, lifecycle=events, churn=spec)
+
     # -- serialization ---------------------------------------------------------
 
     def to_json(self) -> str:
@@ -148,20 +179,33 @@ class Workload:
             "publishes": [asdict(event) for event in self.publishes],
             "requests": [asdict(record) for record in self.requests],
         }
+        if self.lifecycle:
+            payload["lifecycle"] = [asdict(event) for event in self.lifecycle]
+        if self.churn is not None:
+            payload["churn"] = asdict(self.churn)
         return json.dumps(payload)
 
     @classmethod
     def from_json(cls, text: str) -> "Workload":
         """Rebuild a workload serialized with :meth:`to_json`."""
+        from repro.workload.churn import ChurnSpec, LifecycleRecord
+
         payload = json.loads(text)
         config_fields = dict(payload["config"])
         config_fields["age_exponents"] = tuple(config_fields["age_exponents"])
+        churn = None
+        if payload.get("churn") is not None:
+            churn = ChurnSpec(**payload["churn"])
         return cls(
             config=WorkloadConfig(**config_fields),
             pages=[PageSpec(**page) for page in payload["pages"]],
             publishes=[PublishRecord(**event) for event in payload["publishes"]],
             requests=[RequestRecord(**record) for record in payload["requests"]],
             label=payload.get("label", ""),
+            lifecycle=[
+                LifecycleRecord(**event) for event in payload.get("lifecycle", [])
+            ],
+            churn=churn,
         )
 
 

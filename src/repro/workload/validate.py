@@ -27,6 +27,59 @@ from repro.workload.config import DAY, HOUR
 from repro.workload.trace import Workload
 
 
+def validate_churn_spec(spec) -> None:
+    """Reject degenerate churn parameters with a clear ``ValueError``.
+
+    Called from ``ChurnSpec.__post_init__`` (duck-typed, so the check
+    list stays importable without the churn module), guarding against
+    silently-degenerate traces: a negative churn rate or a non-positive
+    lease duration would not crash the generator, it would just produce
+    a lifecycle stream that means nothing.
+    """
+    if spec.churn_rate < 0:
+        raise ValueError(
+            f"churn_rate must be >= 0 (cycles/subscriber/day), got "
+            f"{spec.churn_rate}"
+        )
+    if spec.lease_duration <= 0:
+        raise ValueError(
+            f"lease_duration must be positive seconds, got {spec.lease_duration}"
+        )
+    if spec.lease_min <= 0:
+        raise ValueError(
+            f"lease_min must be positive seconds, got {spec.lease_min}"
+        )
+    if not 0.0 <= spec.renew_probability <= 1.0:
+        raise ValueError(
+            f"renew_probability must be in [0, 1], got {spec.renew_probability}"
+        )
+    if spec.resubscribe_delay <= 0:
+        raise ValueError(
+            f"resubscribe_delay must be positive seconds, got "
+            f"{spec.resubscribe_delay}"
+        )
+    if not 0.0 <= spec.confirmation_loss_probability <= 1.0:
+        raise ValueError(
+            "confirmation_loss_probability must be in [0, 1], got "
+            f"{spec.confirmation_loss_probability}"
+        )
+    if spec.confirm_retry_limit < 0:
+        raise ValueError(
+            f"confirm_retry_limit must be >= 0, got {spec.confirm_retry_limit}"
+        )
+    if spec.confirm_timeout <= 0:
+        raise ValueError(
+            f"confirm_timeout must be positive seconds, got {spec.confirm_timeout}"
+        )
+    if spec.confirm_backoff_cap < spec.confirm_timeout:
+        raise ValueError(
+            "confirm_backoff_cap must be >= confirm_timeout, got "
+            f"{spec.confirm_backoff_cap} < {spec.confirm_timeout}"
+        )
+    if spec.queue_limit < 1:
+        raise ValueError(f"queue_limit must be >= 1, got {spec.queue_limit}")
+
+
 @dataclass(frozen=True)
 class ValidationCheck:
     """One audited statistic."""
@@ -187,6 +240,28 @@ def validate_workload(workload: Workload) -> ValidationReport:
                 measured=float(np.median(sampled_ages) / HOUR),
                 low=0.0,
                 high=36.0,
+            )
+        )
+
+    # Subscription lifecycle (only audited when the churn dimension is
+    # attached): every request pair must start the run under a lease,
+    # otherwise the lifecycle layer would miscount its first accesses
+    # as silent expiries.
+    if getattr(workload, "lifecycle", None):
+        pairs = {(record.page_id, record.server_id) for record in workload.requests}
+        initial = {
+            (event.page_id, event.server_id)
+            for event in workload.lifecycle
+            if event.kind == "subscribe" and event.time == 0.0
+        }
+        coverage = len(initial & pairs) / max(1, len(pairs))
+        checks.append(
+            ValidationCheck(
+                name="lifecycle initial-lease coverage",
+                measured=coverage,
+                low=0.999,
+                high=1.0,
+                note="(every request pair starts leased)",
             )
         )
 

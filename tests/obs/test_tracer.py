@@ -109,5 +109,7 @@ def test_taxonomy_is_complete():
         "outage_end", "delivery_drop", "delivery_retransmit",
         "delivery_lost", "delivery_dup", "delivery_gap",
         "stale_served", "repair",
+        "subscribe", "unsubscribe", "lease_confirmed", "lease_renewed",
+        "lease_expired", "handshake_lost", "repoll",
     }
     assert EVENT_TYPES == expected

@@ -1,0 +1,230 @@
+"""Lease-aware matching: lazy retirement, sweeps, and the churn property.
+
+The property test is the subscription-lifecycle safety net: *any*
+interleaving of subscribe/unsubscribe calls that ends at the seed
+subscription set must restore the inverted index and the sid->terms
+reverse map exactly — churn may never leave tombstones behind.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.topology import build_topology
+from repro.pubsub.matching import MatchingEngine
+from repro.pubsub.overlay import BrokerTree
+from repro.pubsub.pages import Page
+from repro.pubsub.subscriptions import (
+    Subscription,
+    attribute_equals,
+    keyword_any,
+    topic_is,
+)
+
+TOPICS = ["sports", "politics", "tech", "weather"]
+WORDS = ["nba", "vote", "ai", "rain"]
+
+
+def page(page_id=1, topic="sports", keywords=(), attributes=()):
+    return Page(
+        page_id=page_id,
+        size=100,
+        topic=topic,
+        keywords=frozenset(keywords),
+        attributes=tuple(attributes),
+    )
+
+
+def subscription(proxy_id, *predicates, subscriber_id=0):
+    return Subscription(
+        subscriber_id=subscriber_id, proxy_id=proxy_id, predicates=tuple(predicates)
+    )
+
+
+# -- hypothesis strategies ------------------------------------------------
+
+
+@st.composite
+def subscriptions(draw):
+    predicates = []
+    if draw(st.booleans()):
+        predicates.append(topic_is(draw(st.sampled_from(TOPICS))))
+    if draw(st.booleans()):
+        predicates.append(
+            keyword_any(frozenset(draw(st.sets(st.sampled_from(WORDS), min_size=1))))
+        )
+    if draw(st.booleans()):
+        predicates.append(
+            attribute_equals("region", draw(st.sampled_from(["us", "eu"])))
+        )
+    return Subscription(
+        subscriber_id=draw(st.integers(0, 30)),
+        proxy_id=draw(st.integers(0, 3)),
+        predicates=tuple(predicates),
+    )
+
+
+def engine_state(engine):
+    return (
+        dict(engine._subscriptions),
+        {term: set(sids) for term, sids in engine._index.items()},
+        {sid: list(terms) for sid, terms in engine._terms_by_sid.items()},
+        dict(engine._required_hits),
+        set(engine._scan_list),
+        dict(engine._lease_until),
+    )
+
+
+class TestChurnProperty:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_any_interleaving_back_to_seed_set_restores_state(self, data):
+        seed = data.draw(st.lists(subscriptions(), max_size=5))
+        extras = data.draw(st.lists(subscriptions(), max_size=5))
+        pool = seed + extras
+
+        engine = MatchingEngine()
+        if pool:
+            # A random interleaving of subscribes (some leased) and
+            # unsubscribes over the whole pool...
+            ops = data.draw(
+                st.lists(
+                    st.tuples(
+                        st.sampled_from(["sub", "sub-leased", "unsub"]),
+                        st.integers(0, len(pool) - 1),
+                    ),
+                    max_size=30,
+                )
+            )
+            for action, index in ops:
+                if action == "sub":
+                    engine.subscribe(pool[index])
+                elif action == "sub-leased":
+                    engine.subscribe(
+                        pool[index],
+                        lease_until=data.draw(st.floats(1.0, 100.0)),
+                    )
+                else:
+                    engine.unsubscribe(pool[index])
+        # ... then settle back to exactly the seed set (re-subscribing a
+        # present sid with no lease clears its lease; subscribing a
+        # missing one registers it).
+        for sub in seed:
+            engine.subscribe(sub)
+        seed_ids = {sub.subscription_id for sub in seed}
+        for sub in extras:
+            if sub.subscription_id not in seed_ids:
+                engine.unsubscribe(sub)
+
+        reference = MatchingEngine()
+        reference.subscribe_all(seed)
+        assert engine_state(engine) == engine_state(reference)
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_full_teardown_leaves_engine_empty(self, data):
+        subs = data.draw(st.lists(subscriptions(), max_size=8))
+        engine = MatchingEngine()
+        for sub in subs:
+            engine.subscribe(sub)
+        order = data.draw(st.permutations(subs))
+        for sub in order:
+            engine.unsubscribe(sub)
+        assert engine.subscription_count == 0
+        assert not engine._index
+        assert not engine._terms_by_sid
+        assert not engine._required_hits
+        assert not engine._scan_list
+        assert not engine._lease_until
+
+
+class TestEngineLeases:
+    def test_lease_stored_and_cleared_on_resubscribe(self):
+        engine = MatchingEngine()
+        sub = subscription(0, topic_is("sports"))
+        engine.subscribe(sub, lease_until=50.0)
+        assert engine.lease_expiry(sub.subscription_id) == 50.0
+        engine.subscribe(sub)  # idempotent re-subscribe clears the lease
+        assert engine.lease_expiry(sub.subscription_id) is None
+
+    def test_renew_lease(self):
+        engine = MatchingEngine()
+        sub = subscription(0, topic_is("sports"))
+        engine.subscribe(sub, lease_until=50.0)
+        assert engine.renew_lease(sub.subscription_id, 80.0) is True
+        assert engine.lease_expiry(sub.subscription_id) == 80.0
+        assert engine.renew_lease(999_999_999, 80.0) is False
+
+    def test_expire_leases_sweep(self):
+        engine = MatchingEngine()
+        live = subscription(0, topic_is("sports"), subscriber_id=1)
+        dead = subscription(0, topic_is("sports"), subscriber_id=2)
+        permanent = subscription(0, topic_is("sports"), subscriber_id=3)
+        engine.subscribe(live, lease_until=100.0)
+        engine.subscribe(dead, lease_until=10.0)
+        engine.subscribe(permanent)
+        assert engine.expire_leases(10.0) == 1  # until <= now expires
+        assert engine.subscription_count == 2
+        assert engine.lease_expiry(dead.subscription_id) is None
+
+    def test_matching_retires_expired_lazily(self):
+        engine = MatchingEngine()
+        dead = subscription(0, topic_is("sports"), subscriber_id=1)
+        live = subscription(0, topic_is("sports"), subscriber_id=2)
+        engine.subscribe(dead, lease_until=10.0)
+        engine.subscribe(live, lease_until=100.0)
+        matched = engine.matching_subscriptions(page(topic="sports"), now=20.0)
+        assert matched == [live]
+        # The expired subscription was retired on the way through.
+        assert engine.subscription_count == 1
+        assert not engine._index[("topic", "sports")] - {live.subscription_id}
+
+    def test_matching_without_now_ignores_leases(self):
+        engine = MatchingEngine()
+        dead = subscription(0, topic_is("sports"))
+        engine.subscribe(dead, lease_until=10.0)
+        assert engine.matching_subscriptions(page(topic="sports")) == [dead]
+        assert engine.subscription_count == 1
+
+    def test_match_counts_respects_now(self):
+        engine = MatchingEngine()
+        engine.subscribe(
+            subscription(0, topic_is("sports"), subscriber_id=1), lease_until=10.0
+        )
+        engine.subscribe(
+            subscription(2, topic_is("sports"), subscriber_id=2), lease_until=99.0
+        )
+        assert engine.match_counts(page(topic="sports"), now=20.0) == {2: 1}
+
+
+class TestOverlayLeases:
+    def build_tree(self, proxy_count=4, seed=0):
+        topology = build_topology(
+            proxy_count, np.random.default_rng(seed), extra_nodes=3
+        )
+        return BrokerTree(topology)
+
+    def test_leaf_lease_expires_but_aggregate_persists(self):
+        tree = self.build_tree()
+        sub = subscription(1, topic_is("sports"))
+        tree.subscribe(sub, lease_until=10.0)
+        leaf = tree.broker_for_proxy(1).engine
+        assert leaf.lease_expiry(sub.subscription_id) == 10.0
+        assert tree.expire_leases(20.0) == 1
+        assert leaf.subscription_count == 0
+        # Upstream aggregates are unleased by design (stale-aggregate
+        # policy): expiry costs wasted descent, never a wrong count.
+        assert tree.match_counts(page(topic="sports"), now=20.0) == {}
+
+    def test_expire_leases_sums_across_brokers(self):
+        tree = self.build_tree()
+        tree.subscribe(
+            subscription(0, topic_is("sports"), subscriber_id=1), lease_until=5.0
+        )
+        tree.subscribe(
+            subscription(2, topic_is("tech"), subscriber_id=2), lease_until=5.0
+        )
+        tree.subscribe(
+            subscription(3, topic_is("tech"), subscriber_id=3), lease_until=99.0
+        )
+        assert tree.expire_leases(6.0) == 2

@@ -388,3 +388,43 @@ def test_verbose_flag_logs_progress(capsys):
     from repro.obs import setup_cli_logging
 
     setup_cli_logging(0)
+
+
+def test_run_with_churn_flags(capsys):
+    code = main(
+        [
+            "run", "--strategy", "dc-lap", "--trace", "news",
+            "--scale", "0.03", "--seed", "3",
+            "--churn-rate", "2", "--lease-duration", "7200",
+            "--confirm-loss", "0.2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "leases=" in out and "repolls=" in out
+
+
+def test_run_without_churn_flags_has_no_lease_segment(capsys):
+    code = main(
+        ["run", "--strategy", "dc-lap", "--scale", "0.03", "--seed", "3"]
+    )
+    assert code == 0
+    assert "leases=" not in capsys.readouterr().out
+
+
+def test_run_rejects_invalid_churn_parameter(capsys):
+    code = main(
+        ["run", "--strategy", "sg2", "--scale", "0.03", "--churn-rate", "-1"]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "invalid churn parameter" in err
+    assert "churn_rate" in err
+
+
+def test_run_rejects_out_of_range_confirm_loss(capsys):
+    code = main(
+        ["run", "--strategy", "sg2", "--scale", "0.03", "--confirm-loss", "1.5"]
+    )
+    assert code == 2
+    assert "confirmation_loss_probability" in capsys.readouterr().err

@@ -1,0 +1,183 @@
+"""The churn generator: determinism, validation, sorting, round trips."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RandomStreams
+from repro.workload import generate_workload, news_config
+from repro.workload.churn import (
+    LIFECYCLE_KINDS,
+    MAX_EVENTS_PER_SUBSCRIBER,
+    ChurnSpec,
+    LifecycleRecord,
+    churn_statistics,
+    generate_churn,
+)
+from repro.workload.trace import Workload
+
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+PAIRS = [(3, 0), (1, 1), (1, 0), (3, 0)]  # duplicates + unsorted on purpose
+
+
+def spec(**kwargs):
+    defaults = dict(
+        churn_rate=2.0,
+        lease_duration=2 * HOUR,
+        renew_probability=0.6,
+        confirmation_loss_probability=0.1,
+    )
+    defaults.update(kwargs)
+    return ChurnSpec(**defaults)
+
+
+class TestGeneration:
+    def test_deterministic_for_fixed_stream(self):
+        first = generate_churn(
+            PAIRS, 2 * DAY, spec(), np.random.default_rng(42)
+        )
+        second = generate_churn(
+            PAIRS, 2 * DAY, spec(), np.random.default_rng(42)
+        )
+        assert first == second
+        assert len(first) > 3
+
+    def test_input_order_does_not_matter(self):
+        forward = generate_churn(
+            PAIRS, 2 * DAY, spec(), np.random.default_rng(7)
+        )
+        backward = generate_churn(
+            list(reversed(PAIRS)), 2 * DAY, spec(), np.random.default_rng(7)
+        )
+        assert forward == backward
+
+    def test_sorted_by_time_then_cell_then_kind(self):
+        events = generate_churn(PAIRS, 5 * DAY, spec(), np.random.default_rng(3))
+        order = {kind: index for index, kind in enumerate(LIFECYCLE_KINDS)}
+        keys = [
+            (e.time, e.server_id, e.page_id, order[e.kind]) for e in events
+        ]
+        assert keys == sorted(keys)
+
+    def test_every_cell_subscribed_at_time_zero(self):
+        events = generate_churn(PAIRS, DAY, spec(), np.random.default_rng(1))
+        initial = {
+            (e.page_id, e.server_id)
+            for e in events
+            if e.time == 0.0 and e.kind == "subscribe"
+        }
+        assert initial == set(PAIRS)
+
+    def test_leases_respect_floor_and_horizon(self):
+        events = generate_churn(
+            PAIRS, DAY, spec(lease_min=600.0), np.random.default_rng(5)
+        )
+        for event in events:
+            assert 0.0 <= event.time < DAY
+            if event.kind in ("subscribe", "renew"):
+                assert event.lease >= 600.0
+            else:
+                assert event.lease == 0.0
+
+    def test_zero_churn_rate_emits_no_unsubscribes(self):
+        events = generate_churn(
+            PAIRS, 5 * DAY, spec(churn_rate=0.0), np.random.default_rng(9)
+        )
+        assert all(e.kind != "unsubscribe" for e in events)
+
+    def test_event_chains_are_bounded(self):
+        # Micro-leases over a long horizon hit the per-subscriber cap
+        # instead of generating unbounded chains.
+        pathological = spec(
+            lease_duration=1.0,
+            lease_min=1.0,
+            renew_probability=1.0,
+            confirmation_loss_probability=0.0,
+        )
+        events = generate_churn(
+            [(1, 0)], 30 * DAY, pathological, np.random.default_rng(0)
+        )
+        assert len(events) == MAX_EVENTS_PER_SUBSCRIBER
+
+    def test_non_positive_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon"):
+            generate_churn(PAIRS, 0.0, spec(), np.random.default_rng(0))
+
+    def test_statistics(self):
+        events = generate_churn(PAIRS, 3 * DAY, spec(), np.random.default_rng(2))
+        stats = churn_statistics(events)
+        assert stats["events"] == len(events)
+        assert stats["subscribers"] == 3
+        assert stats["subscribe"] >= 3
+        total = sum(stats[kind] for kind in LIFECYCLE_KINDS)
+        assert total == stats["events"]
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(churn_rate=-0.5), "churn_rate"),
+            (dict(lease_duration=0.0), "lease_duration"),
+            (dict(lease_duration=-60.0), "lease_duration"),
+            (dict(lease_min=0.0), "lease_min"),
+            (dict(renew_probability=1.5), "renew_probability"),
+            (dict(renew_probability=-0.1), "renew_probability"),
+            (dict(resubscribe_delay=0.0), "resubscribe_delay"),
+            (dict(confirmation_loss_probability=2.0), "confirmation_loss"),
+            (dict(confirmation_loss_probability=-1.0), "confirmation_loss"),
+            (dict(confirm_retry_limit=-1), "confirm_retry_limit"),
+            (dict(confirm_timeout=0.0), "confirm_timeout"),
+            (dict(confirm_timeout=10.0, confirm_backoff_cap=1.0), "backoff_cap"),
+            (dict(queue_limit=0), "queue_limit"),
+        ],
+    )
+    def test_degenerate_knobs_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            ChurnSpec(**kwargs)
+
+    def test_defaults_are_valid(self):
+        ChurnSpec()  # must not raise
+
+
+class TestWorkloadIntegration:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return generate_workload(
+            news_config(scale=0.01), RandomStreams(2), label="news"
+        )
+
+    def test_with_churn_returns_new_workload(self, workload):
+        churned = workload.with_churn(
+            spec(), RandomStreams(2).stream("workload.churn")
+        )
+        assert churned is not workload
+        assert workload.lifecycle == [] and workload.churn is None
+        assert churned.churn == spec()
+        assert churned.lifecycle
+        assert churned.publishes is workload.publishes
+
+    def test_with_churn_is_seed_deterministic(self, workload):
+        first = workload.with_churn(
+            spec(), RandomStreams(2).stream("workload.churn")
+        )
+        second = workload.with_churn(
+            spec(), RandomStreams(2).stream("workload.churn")
+        )
+        assert first.lifecycle == second.lifecycle
+
+    def test_json_round_trip_preserves_lifecycle(self, workload):
+        churned = workload.with_churn(
+            spec(), RandomStreams(2).stream("workload.churn")
+        )
+        restored = Workload.from_json(churned.to_json())
+        assert restored.churn == churned.churn
+        assert restored.lifecycle == churned.lifecycle
+        assert isinstance(restored.lifecycle[0], LifecycleRecord)
+
+    def test_json_round_trip_without_churn_stays_clean(self, workload):
+        restored = Workload.from_json(workload.to_json())
+        assert restored.churn is None
+        assert restored.lifecycle == []
+        assert "lifecycle" not in workload.to_json()
