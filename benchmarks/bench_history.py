@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Record BENCH_*.json runs into BENCH_history.jsonl and gate regressions.
+
+Usage:
+    python benchmarks/bench_history.py record BENCH_perf.json [more.json ...]
+    python benchmarks/bench_history.py check [--threshold 0.10]
+
+``record`` appends one history line per file (git SHA + extracted
+headline metrics); ``check`` compares each benchmark's last two runs
+and exits 1 when any higher-is-better metric dropped more than the
+threshold — the CI regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.obs.benchtrack import (  # noqa: E402
+    HISTORY_FILE,
+    check_regressions,
+    load_history,
+    record_file,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser("record", help="append BENCH_*.json runs to the history")
+    record.add_argument("files", nargs="+", help="BENCH_*.json payloads to record")
+    record.add_argument("--history", default=HISTORY_FILE)
+    record.add_argument("--sha", default=None, help="override the recorded git SHA")
+
+    check = sub.add_parser("check", help="flag >threshold metric drops (exit 1)")
+    check.add_argument("--history", default=HISTORY_FILE)
+    check.add_argument("--threshold", type=float, default=0.10)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "record":
+        for path in args.files:
+            entry = record_file(path, history_path=args.history, sha=args.sha)
+            print(
+                f"recorded {entry['benchmark']} @ {entry['sha']}: "
+                f"{len(entry['metrics'])} metrics -> {args.history}"
+            )
+        return 0
+
+    entries = load_history(args.history)
+    if not entries:
+        print(f"no history at {args.history}; nothing to check")
+        return 0
+    regressions = check_regressions(entries, threshold=args.threshold)
+    if not regressions:
+        benchmarks = {str(entry.get("benchmark")) for entry in entries}
+        print(
+            f"no regressions > {args.threshold * 100:.0f}% across "
+            f"{len(benchmarks)} benchmark(s), {len(entries)} run(s)"
+        )
+        return 0
+    for regression in regressions:
+        print(f"REGRESSION {regression.describe()}")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,11 +1,15 @@
 """Observability overhead benchmark: ``python benchmarks/obs_bench.py``.
 
-Runs the same simulation cell three ways —
+Runs the same simulation cell four ways —
 
-* ``baseline``  — no observer at all (the library default),
-* ``noop``      — an explicit :class:`~repro.obs.NullObserver`, the
+* ``baseline``   — no observer at all (the library default),
+* ``noop``       — an explicit :class:`~repro.obs.NullObserver`, the
   disabled recorder every simulation consults,
-* ``full``      — tracing (in-memory ring), metrics and profiling all on
+* ``timeseries`` — only a per-window
+  :class:`~repro.obs.TimeSeriesCollector` attached (the streaming
+  telemetry path),
+* ``full``       — tracing (in-memory ring), metrics, time series and
+  profiling all on
 
 — and writes ``BENCH_obs.json`` with runs/sec, seconds-per-run, the
 overhead of each instrumented variant over the baseline, and the
@@ -31,6 +35,7 @@ from repro.obs import (
     NullObserver,
     Observer,
     Profiler,
+    TimeSeriesCollector,
 )
 from repro.system.config import SimulationConfig
 from repro.system.simulator import Simulation
@@ -72,6 +77,12 @@ def run_benchmark(scale: float, seed: int, repeats: int) -> Dict[str, object]:
 
     baseline = _time_variant(workload, seed, repeats, lambda: None)
     noop = _time_variant(workload, seed, repeats, NullObserver)
+    timeseries = _time_variant(
+        workload,
+        seed,
+        repeats,
+        lambda: Observer(timeseries=TimeSeriesCollector(window_seconds=3600.0)),
+    )
     full = _time_variant(
         workload,
         seed,
@@ -80,6 +91,7 @@ def run_benchmark(scale: float, seed: int, repeats: int) -> Dict[str, object]:
             registry=MetricsRegistry(),
             tracer=EventTracer(max_events=100_000),
             profiler=Profiler(),
+            timeseries=TimeSeriesCollector(window_seconds=3600.0),
         ),
     )
 
@@ -96,7 +108,12 @@ def run_benchmark(scale: float, seed: int, repeats: int) -> Dict[str, object]:
         "variants": {},
         "phases": full["result"].profile or {},
     }
-    for name, timing in (("baseline", baseline), ("noop", noop), ("full", full)):
+    for name, timing in (
+        ("baseline", baseline),
+        ("noop", noop),
+        ("timeseries", timeseries),
+        ("full", full),
+    ):
         entry = {
             "seconds_per_run": timing["seconds_per_run"],
             "runs_per_sec": timing["runs_per_sec"],

@@ -38,12 +38,12 @@ def test_bench_obs_json_schema(tmp_path):
     assert payload["benchmark"] == "obs_overhead"
     for key in ("strategy", "trace", "scale", "seed", "repeats", "requests"):
         assert key in payload
-    for name in ("baseline", "noop", "full"):
+    for name in ("baseline", "noop", "timeseries", "full"):
         entry = payload["variants"][name]
         assert entry["seconds_per_run"] > 0
         assert entry["runs_per_sec"] > 0
         assert len(entry["all_seconds"]) == payload["repeats"]
-    for name in ("noop", "full"):
+    for name in ("noop", "timeseries", "full"):
         assert "overhead_fraction" in payload["variants"][name]
     # The full variant profiles the run: its hot phases must be present.
     assert "engine.step" in payload["phases"]

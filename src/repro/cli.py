@@ -110,6 +110,25 @@ def _add_obs(parser: argparse.ArgumentParser, profile: bool = False) -> None:
         "--metrics-out", metavar="FILE", default=None,
         help="write aggregate metrics to FILE in Prometheus text format",
     )
+    parser.add_argument(
+        "--monitor", metavar="SECONDS", nargs="?", const=5.0, type=float,
+        default=None,
+        help="emit live progress heartbeats (events/sec, ETA, RSS, cache "
+             "occupancy) every SECONDS wall-clock seconds (default 5)",
+    )
+    parser.add_argument(
+        "--monitor-out", metavar="FILE", default=None,
+        help="write heartbeats to FILE as JSONL instead of stderr text",
+    )
+    parser.add_argument(
+        "--series-out", metavar="FILE", default=None,
+        help="write per-window time series (hits, traffic, churn, queue "
+             "depths) to FILE as JSONL",
+    )
+    parser.add_argument(
+        "--series-window", metavar="SECONDS", type=float, default=3600.0,
+        help="simulated-time window width for --series-out (default 3600)",
+    )
     if profile:
         parser.add_argument(
             "--profile", action="store_true",
@@ -123,6 +142,10 @@ def _make_observer(args: argparse.Namespace):
         trace_out=args.trace_out,
         metrics=bool(args.metrics_out),
         profile=bool(getattr(args, "profile", False)),
+        series_out=getattr(args, "series_out", None),
+        series_window=getattr(args, "series_window", 3600.0),
+        monitor=getattr(args, "monitor", None),
+        monitor_out=getattr(args, "monitor_out", None),
     )
 
 
@@ -137,6 +160,10 @@ def _finish_observer(observer, args: argparse.Namespace) -> None:
     observer.close()
     if args.trace_out:
         print(f"wrote {args.trace_out}")
+    if getattr(args, "series_out", None):
+        print(f"wrote {args.series_out}")
+    if getattr(args, "monitor_out", None):
+        print(f"wrote {args.monitor_out}")
     if getattr(args, "profile", False) and observer.profiler is not None:
         print()
         print(observer.profiler.render())
@@ -355,19 +382,52 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    from repro.obs.inspect import render_page_history, summarize_trace
+    import json
+
+    from repro.obs.inspect import (
+        page_history,
+        render_page_history,
+        summarize_trace,
+    )
 
     try:
         if args.page is not None:
-            print(render_page_history(args.path, args.page))
+            if args.json:
+                print(json.dumps(page_history(args.path, args.page), indent=2))
+            else:
+                print(render_page_history(args.path, args.page))
         else:
-            print(summarize_trace(args.path).render(top=args.top))
+            summary = summarize_trace(args.path)
+            if args.json:
+                print(json.dumps(summary.as_dict(top=args.top), indent=2))
+            else:
+                print(summary.render(top=args.top))
     except FileNotFoundError:
         print(f"no such trace file: {args.path}", file=sys.stderr)
         return 2
     except ValueError as error:
         print(f"malformed trace file: {error}", file=sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.explain import explain_page_from_file
+
+    try:
+        explanation = explain_page_from_file(args.path, args.id, proxy=args.proxy)
+    except FileNotFoundError:
+        print(f"no such trace file: {args.path}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"malformed trace file: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(explanation.as_dict(), indent=2))
+    else:
+        print(explanation.render())
     return 0
 
 
@@ -683,8 +743,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--page", type=int, default=None,
         help="show the full event history of one page instead",
     )
+    inspect_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the summary (or page history) as JSON",
+    )
     _add_verbose(inspect_parser)
     inspect_parser.set_defaults(func=_cmd_inspect)
+
+    explain_parser = sub.add_parser(
+        "explain",
+        help="reconstruct one page's causal lifecycle chain from a trace "
+             "(why was this request a miss?)",
+    )
+    explain_parser.add_argument(
+        "kind", choices=["page"], help="what to explain (only 'page' for now)"
+    )
+    explain_parser.add_argument("id", type=int, help="page id to explain")
+    explain_parser.add_argument(
+        "path", help="trace file (JSONL) written by --trace-out"
+    )
+    explain_parser.add_argument(
+        "--proxy", type=int, default=None,
+        help="restrict the chain to one proxy",
+    )
+    explain_parser.add_argument(
+        "--json", action="store_true", help="emit the chain as JSON"
+    )
+    _add_verbose(explain_parser)
+    explain_parser.set_defaults(func=_cmd_explain)
 
     generate_parser = sub.add_parser(
         "generate-trace", help="generate a workload and write it as JSON"

@@ -12,6 +12,17 @@ The simulation layers report *what happened* through one optional
   sink, filterable per page/proxy/type;
 * :class:`~repro.obs.profile.Profiler` — span-style wall-time and
   call-count accounting around the hot paths;
+* :class:`~repro.obs.timeseries.TimeSeriesCollector` — counters,
+  gauges and stats folded into fixed-width simulated-time windows
+  with bounded memory (ring + optional JSONL spill): the per-window
+  hit-ratio / traffic / churn trajectories the paper's figures plot;
+* :class:`~repro.obs.monitor.RunMonitor` — live wall-clock heartbeats
+  (events/sec, sim-time progress + ETA, RSS, cache occupancy) while a
+  run executes;
+* :mod:`repro.obs.explain` — reconstruct one page's causal lifecycle
+  chain from a trace and answer "why was this request a miss?";
+* :mod:`repro.obs.benchtrack` — append benchmark runs to
+  ``BENCH_history.jsonl`` and flag >10% regressions;
 * :mod:`repro.obs.inspect` — summarise a trace file back into answers;
 * :mod:`repro.obs.log` — stdlib logging under the ``repro.*``
   namespace (NullHandler by default; the CLI installs a console
@@ -23,7 +34,17 @@ bit-identical to an unobserved build and the overhead is one boolean
 test per simulation event.
 """
 
+from repro.obs.benchtrack import (
+    HISTORY_FILE,
+    Regression,
+    append_entry,
+    check_regressions,
+    extract_metrics,
+    load_history,
+)
+from repro.obs.explain import PageExplanation, explain_page, explain_page_from_file
 from repro.obs.log import get_logger, setup_cli_logging
+from repro.obs.monitor import RunMonitor, rss_bytes
 from repro.obs.profile import NULL_SPAN, NullSpan, Profiler
 from repro.obs.recorder import NULL_OBSERVER, NullObserver, Observer, build_observer
 from repro.obs.registry import (
@@ -32,7 +53,10 @@ from repro.obs.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    escape_help,
+    escape_label_value,
 )
+from repro.obs.timeseries import TimeSeriesCollector, read_series_jsonl
 from repro.obs.tracer import EVENT_TYPES, EventTracer, read_jsonl
 
 __all__ = [
@@ -45,9 +69,24 @@ __all__ = [
     "Gauge",
     "Histogram",
     "DEFAULT_LATENCY_BUCKETS",
+    "escape_label_value",
+    "escape_help",
     "EventTracer",
     "EVENT_TYPES",
     "read_jsonl",
+    "TimeSeriesCollector",
+    "read_series_jsonl",
+    "RunMonitor",
+    "rss_bytes",
+    "PageExplanation",
+    "explain_page",
+    "explain_page_from_file",
+    "HISTORY_FILE",
+    "Regression",
+    "append_entry",
+    "check_regressions",
+    "extract_metrics",
+    "load_history",
     "Profiler",
     "NullSpan",
     "NULL_SPAN",

@@ -79,6 +79,40 @@ class TraceSummary:
     #: (proxy, page) -> lifecycle event count (the churning subscribers).
     churning_subscribers: Counter = field(default_factory=Counter)
 
+    def as_dict(self, top: int = 10, timeline_limit: int = 20) -> Dict[str, object]:
+        """A JSON-serialisable view of the summary (``inspect --json``).
+
+        Compound keys become lists of objects so the structure survives
+        ``json.dumps`` without stringified-tuple keys.
+        """
+        return {
+            "path": self.path,
+            "event_count": self.event_count,
+            "time_range": list(self.time_range) if self.time_range else None,
+            "strategies": list(self.strategies),
+            "counts_by_type": dict(self.counts_by_type),
+            "unknown_types": dict(self.unknown_types),
+            "top_pages_by_churn": [
+                {
+                    "page": page,
+                    "churn": churn,
+                    "detail": dict(self.churn_detail.get(page, Counter())),
+                }
+                for page, churn in self.churn_by_page.most_common(top)
+            ],
+            "eviction_causes": dict(self.eviction_causes),
+            "lifecycle_by_proxy": [
+                {"proxy": proxy, "events": dict(detail)}
+                for proxy, detail in sorted(self.lifecycle_by_proxy.items())
+            ],
+            "churning_subscribers": [
+                {"proxy": proxy, "page": page, "events": count}
+                for (proxy, page), count in self.churning_subscribers.most_common(top)
+            ],
+            "timeline": self.timeline[:timeline_limit],
+            "timeline_total": len(self.timeline),
+        }
+
     def render(self, top: int = 10, timeline_limit: int = 20) -> str:
         lines = [f"trace    : {self.path}"]
         lines.append(f"events   : {self.event_count}")

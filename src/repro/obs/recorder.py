@@ -1,13 +1,16 @@
 """The :class:`Observer` facade the simulator talks to.
 
-One object bundles the three observability concerns — a
+One object bundles the observability concerns — a
 :class:`~repro.obs.registry.MetricsRegistry`, an
-:class:`~repro.obs.tracer.EventTracer` and a
-:class:`~repro.obs.profile.Profiler` — behind semantic hooks
+:class:`~repro.obs.tracer.EventTracer`, a
+:class:`~repro.obs.profile.Profiler`, a
+:class:`~repro.obs.timeseries.TimeSeriesCollector` and a
+:class:`~repro.obs.monitor.RunMonitor` — behind semantic hooks
 (``publish``, ``request_outcome``, ``evict``, ``crash`` ...) so the
 simulator never builds event dicts or picks metric names itself.
 Every part is optional: an Observer with only a tracer traces, one
-with only a registry counts.
+with only a registry counts, one with only a time-series collector
+produces per-window trajectories.
 
 :data:`NULL_OBSERVER` is the module-level default.  Its ``enabled``
 flag is ``False`` and the simulator guards every hook call behind that
@@ -17,15 +20,17 @@ stays bit-identical to the pre-observability behaviour.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
+from repro.obs.monitor import RunMonitor
 from repro.obs.profile import NULL_SPAN, Profiler
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import Gauge, MetricsRegistry
+from repro.obs.timeseries import TimeSeriesCollector
 from repro.obs.tracer import EventTracer
 
 
 class Observer:
-    """Routes simulator lifecycle hooks to registry/tracer/profiler."""
+    """Routes simulator lifecycle hooks to the attached components."""
 
     enabled = True
 
@@ -34,10 +39,18 @@ class Observer:
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[EventTracer] = None,
         profiler: Optional[Profiler] = None,
+        timeseries: Optional[TimeSeriesCollector] = None,
+        monitor: Optional[RunMonitor] = None,
     ) -> None:
         self.registry = registry
         self.tracer = tracer
         self.profiler = profiler
+        self.timeseries = timeseries
+        self.monitor = monitor
+        #: Running total of bytes held across caches, maintained from
+        #: cache_op sizes so the time-series occupancy gauge is exact.
+        self._cache_bytes = 0
+        self._g_queues: Dict[str, Gauge] = {}
         if registry is not None:
             c = registry.counter
             self._c_publish = c("repro_publishes_total", "pages published")
@@ -127,6 +140,8 @@ class Observer:
         if self.tracer is not None:
             self.tracer.bind(**context)
             self.tracer.emit("run_start", 0.0, **context)
+        if self.monitor is not None:
+            self.monitor.start()
 
     def run_end(self, t: float, cache_used_bytes: Optional[int] = None) -> None:
         if self.registry is not None:
@@ -135,30 +150,40 @@ class Observer:
                 self._g_cache_used.set(cache_used_bytes)
         if self.tracer is not None:
             self.tracer.emit("run_end", t)
+        if self.monitor is not None:
+            self.monitor.finish(t)
 
     # -- publish-side lifecycle ---------------------------------------------
 
     def publish(self, t: float, page: int, version: int, size: int) -> None:
         if self.registry is not None:
             self._c_publish.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "publishes")
         if self.tracer is not None:
             self.tracer.emit("publish", t, page=page, version=version, size=size)
 
     def match(self, t: float, page: int, proxy: int, match_count: int) -> None:
         if self.registry is not None:
             self._c_match.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "matches")
         if self.tracer is not None:
             self.tracer.emit("match", t, page=page, proxy=proxy, matches=match_count)
 
     def push_offer(self, t: float, page: int, proxy: int) -> None:
         if self.registry is not None:
             self._c_offer.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "push_offers")
         if self.tracer is not None:
             self.tracer.emit("push_offer", t, page=page, proxy=proxy)
 
     def push_accept(self, t: float, page: int, proxy: int, refreshed: bool) -> None:
         if self.registry is not None:
             self._c_accept.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "push_accepts")
         if self.tracer is not None:
             self.tracer.emit(
                 "push_accept", t, page=page, proxy=proxy, refreshed=refreshed
@@ -167,12 +192,16 @@ class Observer:
     def push_reject(self, t: float, page: int, proxy: int) -> None:
         if self.registry is not None:
             self._c_reject.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "push_rejects")
         if self.tracer is not None:
             self.tracer.emit("push_reject", t, page=page, proxy=proxy)
 
     def push_suppressed(self, t: float, page: int, proxy: int, reason: str) -> None:
         if self.registry is not None:
             self._c_suppressed.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "pushes_suppressed")
         if self.tracer is not None:
             self.tracer.emit(
                 "push_suppressed", t, page=page, proxy=proxy, reason=reason
@@ -183,6 +212,8 @@ class Observer:
     def request(self, t: float, page: int, proxy: int) -> None:
         if self.registry is not None:
             self._c_request.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "requests")
         if self.tracer is not None:
             self.tracer.emit("request", t, page=page, proxy=proxy)
 
@@ -198,6 +229,14 @@ class Observer:
             else:
                 self._c_miss.inc()
             self._h_latency.observe(latency)
+        if self.timeseries is not None:
+            if kind == "hit":
+                self.timeseries.inc(t, "hits")
+            elif kind == "stale":
+                self.timeseries.inc(t, "stale_hits")
+            else:
+                self.timeseries.inc(t, "misses")
+            self.timeseries.observe(t, "latency", latency)
         if self.tracer is not None:
             self.tracer.emit(kind, t, page=page, proxy=proxy, latency=latency)
 
@@ -207,6 +246,10 @@ class Observer:
                 self._c_fetch.inc()
             else:
                 self._c_peer.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(
+                t, "origin_fetches" if source == "origin" else "peer_fetches"
+            )
         if self.tracer is not None:
             kind = "fetch" if source == "origin" else "peer_fetch"
             self.tracer.emit(kind, t, page=page, proxy=proxy, source=source)
@@ -218,6 +261,8 @@ class Observer:
     ) -> None:
         if self.registry is not None:
             self._c_failover.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "failovers")
         if self.tracer is not None:
             self.tracer.emit(
                 "failover", t, page=page, proxy=proxy, target=target, reason=reason
@@ -228,6 +273,8 @@ class Observer:
     ) -> None:
         if self.registry is not None:
             self._c_retry.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "retries")
         if self.tracer is not None:
             self.tracer.emit(
                 "retry", t, page=page, proxy=proxy, attempt=attempt, backoff=backoff
@@ -236,15 +283,34 @@ class Observer:
     def failed(self, t: float, page: int, proxy: int) -> None:
         if self.registry is not None:
             self._c_failed.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "failed_requests")
         if self.tracer is not None:
             self.tracer.emit("failed", t, page=page, proxy=proxy)
 
     # -- reliable delivery ----------------------------------------------------
 
+    def notification_sent(self, t: float, page: int, proxy: int) -> None:
+        """A notification left the delivery layer toward ``proxy``.
+
+        Time-series only: the registry already derives send totals from
+        offers/drops, but the per-window delivery *ratio* needs an
+        explicit sent series to divide by.
+        """
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "notifications_sent")
+
+    def notification_delivered(self, t: float, page: int, proxy: int) -> None:
+        """A notification arrived at ``proxy`` (time-series only)."""
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "notifications_delivered")
+
     def delivery_drop(self, t: float, page: int, proxy: int, reason: str) -> None:
         """One notification send was lost (it may still be retransmitted)."""
         if self.registry is not None:
             self._c_drop.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "delivery_drops")
         if self.tracer is not None:
             self.tracer.emit(
                 "delivery_drop", t, page=page, proxy=proxy, reason=reason
@@ -256,6 +322,8 @@ class Observer:
         """A notification needed ``attempts - 1`` retransmissions."""
         if self.registry is not None:
             self._c_retransmit.inc(attempts - 1)
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "delivery_retransmits", attempts - 1)
         if self.tracer is not None:
             self.tracer.emit(
                 "delivery_retransmit", t, page=page, proxy=proxy, attempts=attempts
@@ -266,6 +334,8 @@ class Observer:
         repair."""
         if self.registry is not None:
             self._c_lost.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "delivery_lost")
         if self.tracer is not None:
             self.tracer.emit(
                 "delivery_lost", t, page=page, proxy=proxy, reason=reason
@@ -274,12 +344,16 @@ class Observer:
     def delivery_dup(self, t: float, page: int, proxy: int) -> None:
         if self.registry is not None:
             self._c_dup.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "delivery_dups")
         if self.tracer is not None:
             self.tracer.emit("delivery_dup", t, page=page, proxy=proxy)
 
     def delivery_gap(self, t: float, page: int, proxy: int, sequence: int) -> None:
         if self.registry is not None:
             self._c_gap.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "delivery_gaps")
         if self.tracer is not None:
             self.tracer.emit(
                 "delivery_gap", t, page=page, proxy=proxy, sequence=sequence
@@ -289,6 +363,8 @@ class Observer:
         """A silently stale page was served as if fresh (no repair)."""
         if self.registry is not None:
             self._c_stale_served.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "stale_served")
         if self.tracer is not None:
             self.tracer.emit("stale_served", t, page=page, proxy=proxy, age=age)
 
@@ -296,6 +372,8 @@ class Observer:
         """Access-time validation caught a missed push; origin repair."""
         if self.registry is not None:
             self._c_repair.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "repairs")
         if self.tracer is not None:
             self.tracer.emit("repair", t, page=page, proxy=proxy, age=age)
 
@@ -305,18 +383,24 @@ class Observer:
         """A (re-)subscribe granted a fresh lease of ``lease`` seconds."""
         if self.registry is not None:
             self._c_lease_sub.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "lease_subscribes")
         if self.tracer is not None:
             self.tracer.emit("subscribe", t, page=page, proxy=proxy, lease=lease)
 
     def lease_renewed(self, t: float, page: int, proxy: int, lease: float) -> None:
         if self.registry is not None:
             self._c_lease_renew.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "lease_renewals")
         if self.tracer is not None:
             self.tracer.emit("lease_renewed", t, page=page, proxy=proxy, lease=lease)
 
     def lease_unsubscribe(self, t: float, page: int, proxy: int) -> None:
         if self.registry is not None:
             self._c_lease_unsub.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "lease_unsubscribes")
         if self.tracer is not None:
             self.tracer.emit("unsubscribe", t, page=page, proxy=proxy)
 
@@ -327,6 +411,8 @@ class Observer:
         the subscribe/renew message (0 on a lossless handshake)."""
         if self.registry is not None:
             self._c_lease_confirm.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "lease_confirms")
         if self.tracer is not None:
             self.tracer.emit(
                 "lease_confirmed", t, page=page, proxy=proxy, latency=latency
@@ -337,6 +423,8 @@ class Observer:
         access, event intake, or end-of-run accounting."""
         if self.registry is not None:
             self._c_lease_expire.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "lease_expiries")
         if self.tracer is not None:
             self.tracer.emit("lease_expired", t, page=page, proxy=proxy, where=where)
 
@@ -345,6 +433,8 @@ class Observer:
         the handshake); the lease is stuck PENDING until re-poll."""
         if self.registry is not None:
             self._c_handshake_lost.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "handshakes_lost")
         if self.tracer is not None:
             self.tracer.emit(
                 "handshake_lost", t, page=page, proxy=proxy, attempts=attempts
@@ -354,8 +444,27 @@ class Observer:
         """An access re-polled the hub and repaired a dead lease."""
         if self.registry is not None:
             self._c_repoll.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "repolls")
         if self.tracer is not None:
             self.tracer.emit("repoll", t, page=page, proxy=proxy, reason=reason)
+
+    # -- queue telemetry ---------------------------------------------------------
+
+    def queue_depth(self, t: float, name: str, depth: int) -> None:
+        """Sample the depth of a named internal queue (retransmit
+        backlog, handshake retry queue, ...).  Gauge-only: no trace
+        event, so sampling is cheap enough to do per intake."""
+        if self.registry is not None:
+            gauge = self._g_queues.get(name)
+            if gauge is None:
+                gauge = self.registry.gauge(
+                    f"repro_{name}_queue_depth", f"{name} queue backlog"
+                )
+                self._g_queues[name] = gauge
+            gauge.set(depth)
+        if self.timeseries is not None:
+            self.timeseries.set_gauge(t, f"{name}_queue_depth", depth)
 
     # -- cache churn -----------------------------------------------------------
 
@@ -363,38 +472,57 @@ class Observer:
         if self.registry is not None:
             self._c_evict.inc()
             self._c_evict_bytes.inc(size)
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "evictions")
+            self.timeseries.inc(t, "evicted_bytes", size)
         if self.tracer is not None:
             self.tracer.emit("evict", t, page=page, proxy=proxy, size=size, cause=cause)
 
-    def cache_op(self, op: str) -> None:
+    def cache_op(self, op: str, size: int = 0, t: float = 0.0) -> None:
         """Raw storage add/remove, wired via the CacheStorage listener."""
         if self.registry is not None:
             if op == "add":
                 self._c_cache_add.inc()
             else:
                 self._c_cache_remove.inc()
+        if self.timeseries is not None:
+            if op == "add":
+                self._cache_bytes += size
+                self.timeseries.inc(t, "cache_insertions")
+            else:
+                self._cache_bytes -= size
+                self.timeseries.inc(t, "cache_removals")
+            self.timeseries.set_gauge(t, "cache_used_bytes", self._cache_bytes)
 
     # -- component faults ------------------------------------------------------
 
     def crash(self, t: float, proxy: int) -> None:
         if self.registry is not None:
             self._c_crash.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "crashes")
         if self.tracer is not None:
             self.tracer.emit("crash", t, proxy=proxy)
 
     def restart(self, t: float, proxy: int) -> None:
         if self.registry is not None:
             self._c_restart.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "restarts")
         if self.tracer is not None:
             self.tracer.emit("restart", t, proxy=proxy)
 
     def outage(self, t: float) -> None:
         if self.registry is not None:
             self._c_outage.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "outages")
         if self.tracer is not None:
             self.tracer.emit("outage", t)
 
     def outage_end(self, t: float) -> None:
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "outage_ends")
         if self.tracer is not None:
             self.tracer.emit("outage_end", t)
 
@@ -407,9 +535,13 @@ class Observer:
         return self.profiler.span(name)
 
     def close(self) -> None:
-        """Flush/close the tracer sink (idempotent)."""
+        """Flush/close every attached sink (idempotent)."""
         if self.tracer is not None:
             self.tracer.close()
+        if self.timeseries is not None:
+            self.timeseries.close()
+        if self.monitor is not None:
+            self.monitor.close()
 
 
 class NullObserver(Observer):
@@ -422,7 +554,7 @@ class NullObserver(Observer):
     enabled = False
 
     def __init__(self) -> None:
-        super().__init__(registry=None, tracer=None, profiler=None)
+        super().__init__()
 
     def span(self, name: str):
         return NULL_SPAN
@@ -439,6 +571,12 @@ def build_observer(
     trace_pages=None,
     trace_proxies=None,
     max_events: int = 100_000,
+    series: bool = False,
+    series_out: Optional[str] = None,
+    series_window: float = 3600.0,
+    series_max_windows: int = 256,
+    monitor: Optional[float] = None,
+    monitor_out: Optional[str] = None,
 ) -> Optional[Observer]:
     """Assemble an Observer from CLI-ish flags; None if nothing is on."""
     tracer = None
@@ -451,6 +589,31 @@ def build_observer(
         )
     registry = MetricsRegistry() if metrics else None
     profiler = Profiler() if profile else None
-    if tracer is None and registry is None and profiler is None:
+    timeseries = None
+    if series or series_out is not None:
+        timeseries = TimeSeriesCollector(
+            window_seconds=series_window,
+            max_windows=series_max_windows,
+            spill=series_out,
+        )
+    run_monitor = None
+    if monitor is not None or monitor_out is not None:
+        run_monitor = RunMonitor(
+            interval=monitor if monitor is not None else 5.0,
+            sink=monitor_out,
+        )
+    if (
+        tracer is None
+        and registry is None
+        and profiler is None
+        and timeseries is None
+        and run_monitor is None
+    ):
         return None
-    return Observer(registry=registry, tracer=tracer, profiler=profiler)
+    return Observer(
+        registry=registry,
+        tracer=tracer,
+        profiler=profiler,
+        timeseries=timeseries,
+        monitor=run_monitor,
+    )

@@ -16,6 +16,48 @@ from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote and line-feed are the three characters the
+    format requires escaped inside quoted label values; backslash must
+    go first so the other escapes aren't double-escaped.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def escape_help(text: str) -> str:
+    """Escape HELP text (backslash and line-feed only, per the format)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _labelset(labels, extra: Optional[Tuple[str, str]] = None) -> str:
+    """Render ``{k="v",...}`` with escaped values; "" when empty."""
+    pairs = list(labels) if labels else []
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{escape_label_value(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _normalize_labels(labels) -> Optional[Tuple[Tuple[str, str], ...]]:
+    if not labels:
+        return None
+    items = sorted((str(k), str(v)) for k, v in dict(labels).items())
+    for key, _ in items:
+        if not _LABEL_NAME_RE.match(key):
+            raise ValueError(f"invalid label name: {key!r}")
+    return tuple(items)
 
 #: Default histogram buckets, tuned for modelled response times in
 #: seconds (hits land in the first buckets, retried fetches in the
@@ -28,11 +70,12 @@ DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
 class Counter:
     """A monotonically increasing value."""
 
-    __slots__ = ("name", "help", "_value")
+    __slots__ = ("name", "help", "labels", "_value")
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "", labels=None) -> None:
         self.name = name
         self.help = help
+        self.labels = labels
         self._value = 0.0
 
     @property
@@ -48,11 +91,12 @@ class Counter:
 class Gauge:
     """A value that can go up and down."""
 
-    __slots__ = ("name", "help", "_value")
+    __slots__ = ("name", "help", "labels", "_value")
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "", labels=None) -> None:
         self.name = name
         self.help = help
+        self.labels = labels
         self._value = 0.0
 
     @property
@@ -78,10 +122,14 @@ class Histogram:
     ``bisect`` plus two additions.
     """
 
-    __slots__ = ("name", "help", "buckets", "_counts", "_sum", "_count")
+    __slots__ = ("name", "help", "labels", "buckets", "_counts", "_sum", "_count")
 
     def __init__(
-        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+        self,
+        name: str,
+        help: str = "",
+        labels=None,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
     ) -> None:
         bounds = tuple(float(b) for b in buckets)
         if not bounds:
@@ -90,6 +138,7 @@ class Histogram:
             raise ValueError(f"histogram {name} buckets must strictly increase: {bounds}")
         self.name = name
         self.help = help
+        self.labels = labels
         self.buckets = bounds
         self._counts = [0] * (len(bounds) + 1)  # last slot is +Inf
         self._sum = 0.0
@@ -136,85 +185,109 @@ class MetricsRegistry:
     def get(self, name: str) -> Optional[Instrument]:
         return self._instruments.get(name)
 
-    def _register(self, kind, name: str, help: str, **kwargs) -> Instrument:
+    def _register(self, kind, name: str, help: str, labels=None, **kwargs) -> Instrument:
         if not _NAME_RE.match(name):
             raise ValueError(f"invalid metric name: {name!r}")
-        existing = self._instruments.get(name)
+        labels = _normalize_labels(labels)
+        key = name + _labelset(labels)
+        existing = self._instruments.get(key)
         if existing is not None:
             if type(existing) is not kind:
                 raise ValueError(
-                    f"metric {name!r} already registered as "
+                    f"metric {key!r} already registered as "
                     f"{type(existing).__name__}, not {kind.__name__}"
                 )
             buckets = kwargs.get("buckets")
             if buckets is not None and existing.buckets != tuple(
                 float(b) for b in buckets
             ):
-                raise ValueError(f"histogram {name!r} re-registered with new buckets")
+                raise ValueError(f"histogram {key!r} re-registered with new buckets")
             return existing
-        instrument = kind(name, help, **kwargs)
-        self._instruments[name] = instrument
+        instrument = kind(name, help, labels=labels, **kwargs)
+        self._instruments[key] = instrument
         return instrument
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        """Get or create a counter."""
-        return self._register(Counter, name, help)
+    def counter(self, name: str, help: str = "", labels=None) -> Counter:
+        """Get or create a counter (``labels``: constant label dict)."""
+        return self._register(Counter, name, help, labels=labels)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        """Get or create a gauge."""
-        return self._register(Gauge, name, help)
+    def gauge(self, name: str, help: str = "", labels=None) -> Gauge:
+        """Get or create a gauge (``labels``: constant label dict)."""
+        return self._register(Gauge, name, help, labels=labels)
 
     def histogram(
         self,
         name: str,
         help: str = "",
         buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        labels=None,
     ) -> Histogram:
         """Get or create a fixed-bucket histogram."""
-        return self._register(Histogram, name, help, buckets=buckets)
+        return self._register(Histogram, name, help, labels=labels, buckets=buckets)
 
     # -- exporters ----------------------------------------------------------
 
     def render_prometheus(self) -> str:
-        """The whole registry in Prometheus text exposition format."""
+        """The whole registry in Prometheus text exposition format.
+
+        Label values are escaped per the format (backslash, newline,
+        double-quote); HELP text escapes backslash and newline.  With
+        labelled instruments sharing one metric name, the HELP/TYPE
+        header is emitted once per name.
+        """
         lines: List[str] = []
-        for name in sorted(self._instruments):
-            instrument = self._instruments[name]
-            if instrument.help:
-                lines.append(f"# HELP {name} {instrument.help}")
-            if isinstance(instrument, Counter):
-                lines.append(f"# TYPE {name} counter")
-                lines.append(f"{name} {_fmt(instrument.value)}")
-            elif isinstance(instrument, Gauge):
-                lines.append(f"# TYPE {name} gauge")
-                lines.append(f"{name} {_fmt(instrument.value)}")
+        headered = set()
+        for key in sorted(self._instruments, key=lambda k: (self._instruments[k].name, k)):
+            instrument = self._instruments[key]
+            name = instrument.name
+            labelset = _labelset(instrument.labels)
+            if name not in headered:
+                headered.add(name)
+                if instrument.help:
+                    lines.append(f"# HELP {name} {escape_help(instrument.help)}")
+                if isinstance(instrument, Counter):
+                    lines.append(f"# TYPE {name} counter")
+                elif isinstance(instrument, Gauge):
+                    lines.append(f"# TYPE {name} gauge")
+                else:
+                    lines.append(f"# TYPE {name} histogram")
+            if isinstance(instrument, (Counter, Gauge)):
+                lines.append(f"{name}{labelset} {_fmt(instrument.value)}")
             else:
-                lines.append(f"# TYPE {name} histogram")
                 cumulative = instrument.cumulative_counts()
                 for bound, count in zip(instrument.buckets, cumulative):
-                    lines.append(f'{name}_bucket{{le="{_fmt(bound)}"}} {count}')
-                lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative[-1]}')
-                lines.append(f"{name}_sum {_fmt(instrument.sum)}")
-                lines.append(f"{name}_count {instrument.count}")
+                    bucket_labels = _labelset(
+                        instrument.labels, extra=("le", _fmt(bound))
+                    )
+                    lines.append(f"{name}_bucket{bucket_labels} {count}")
+                inf_labels = _labelset(instrument.labels, extra=("le", "+Inf"))
+                lines.append(f"{name}_bucket{inf_labels} {cumulative[-1]}")
+                lines.append(f"{name}_sum{labelset} {_fmt(instrument.sum)}")
+                lines.append(f"{name}_count{labelset} {instrument.count}")
         return "\n".join(lines) + ("\n" if lines else "")
 
     def as_dict(self) -> Dict[str, Dict]:
-        """One JSON-serialisable entry per instrument."""
+        """One JSON-serialisable entry per instrument (keyed by name plus
+        canonical labelset, so labelled siblings don't collide)."""
         out: Dict[str, Dict] = {}
-        for name in sorted(self._instruments):
-            instrument = self._instruments[name]
+        for key in sorted(self._instruments):
+            instrument = self._instruments[key]
+            entry: Dict[str, object]
             if isinstance(instrument, Counter):
-                out[name] = {"type": "counter", "value": instrument.value}
+                entry = {"type": "counter", "value": instrument.value}
             elif isinstance(instrument, Gauge):
-                out[name] = {"type": "gauge", "value": instrument.value}
+                entry = {"type": "gauge", "value": instrument.value}
             else:
-                out[name] = {
+                entry = {
                     "type": "histogram",
                     "buckets": list(instrument.buckets),
                     "cumulative_counts": instrument.cumulative_counts(),
                     "sum": instrument.sum,
                     "count": instrument.count,
                 }
+            if instrument.labels:
+                entry["labels"] = dict(instrument.labels)
+            out[key] = entry
         return out
 
     def render_json(self, indent: Optional[int] = 2) -> str:

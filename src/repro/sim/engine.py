@@ -120,10 +120,18 @@ class Environment:
     each agenda step under the ``"engine.step"`` phase.  It defaults to
     ``None`` and the unprofiled loop is untouched, so observability is
     free when off.
+
+    Setting :attr:`monitor` (any object with ``tick(now)``, e.g.
+    :class:`repro.obs.monitor.RunMonitor`) makes the loops call
+    ``tick`` once per dispatched event, enabling live heartbeats.  Like
+    the profiler it defaults to ``None`` and the branch is hoisted out
+    of the unmonitored loop.
     """
 
     #: Optional span profiler for the event loop (see class docstring).
     profiler = None
+    #: Optional live run monitor, ticked once per dispatched event.
+    monitor = None
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -216,6 +224,7 @@ class Environment:
         """
         agenda = self._agenda
         profiler = self.profiler
+        monitor = self.monitor
         if profiler is not None:
             from time import perf_counter
 
@@ -231,6 +240,8 @@ class Environment:
                     started = perf_counter()
                     self.step()
                     record("engine.step", perf_counter() - started)
+                if monitor is not None:
+                    monitor.tick(self._now)
                 continue
             if at < self._now:
                 raise SimulationError(
@@ -243,6 +254,8 @@ class Environment:
                 started = perf_counter()
                 fn(a, b, at)
                 record("engine.step", perf_counter() - started)
+            if monitor is not None:
+                monitor.tick(at)
             pending = next(iterator, None)
         self.run()
 
@@ -255,12 +268,13 @@ class Environment:
         if until is not None and until < self._now:
             raise SimulationError(f"until={until} lies in the past (now={self._now})")
         profiler = self.profiler
-        if profiler is None:
+        monitor = self.monitor
+        if profiler is None and monitor is None:
             while self._agenda:
                 if until is not None and self._agenda[0][0] > until:
                     break
                 self.step()
-        else:
+        elif monitor is None:
             from time import perf_counter
 
             record = profiler.record
@@ -270,5 +284,21 @@ class Environment:
                 started = perf_counter()
                 self.step()
                 record("engine.step", perf_counter() - started)
+        else:
+            if profiler is not None:
+                from time import perf_counter
+
+                record = profiler.record
+            tick = monitor.tick
+            while self._agenda:
+                if until is not None and self._agenda[0][0] > until:
+                    break
+                if profiler is None:
+                    self.step()
+                else:
+                    started = perf_counter()
+                    self.step()
+                    record("engine.step", perf_counter() - started)
+                tick(self._now)
         if until is not None:
             self._now = max(self._now, until)

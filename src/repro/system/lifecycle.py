@@ -269,6 +269,9 @@ class LifecycleManager:
                 self.obs.lease_confirmed(
                     now, record.page_id, record.server_id, confirmed_at - now
                 )
+            self.obs.queue_depth(
+                now, "handshake", len(self._queues[record.server_id])
+            )
 
     def _sample_renewal_latency(self, latency: float) -> None:
         self.renewal_latency_counts[renewal_latency_bin(latency)] += 1

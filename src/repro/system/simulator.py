@@ -411,6 +411,10 @@ class Simulation:
         self._notification_loss_events += plan.loss_events
         self._notifications_retransmitted += plan.retransmissions
         if obs_on:
+            self.obs.notification_sent(now, page_id, server_id)
+            self.obs.queue_depth(
+                now, "retransmit", self._delivery.pending_retransmits
+            )
             for _ in range(plan.loss_events):
                 self.obs.delivery_drop(now, page_id, server_id, "push-path")
             if plan.retransmissions:
@@ -494,6 +498,8 @@ class Simulation:
                 self.obs.delivery_dup(t, page_id, server_id)
             return
         self._notifications_delivered += 1
+        if obs_on:
+            self.obs.notification_delivered(t, page_id, server_id)
         if kind == "gap" and obs_on:
             self.obs.delivery_gap(t, page_id, server_id, version)
         if obs_on:
@@ -1002,6 +1008,14 @@ class Simulation:
         self._env = env
         if self._obs_on and obs.profiler is not None:
             env.profiler = obs.profiler
+        if self._obs_on and obs.monitor is not None:
+            obs.monitor.configure(
+                horizon=self.workload.config.horizon,
+                cache_probe=lambda: sum(
+                    proxy.policy.used_bytes for proxy in self.proxies
+                ),
+            )
+            env.monitor = obs.monitor
         fast = self.config.replay == "fast"
         with obs.span("sim.schedule"):
             if not fast:
@@ -1064,7 +1078,9 @@ class Simulation:
                 )
             )
             for storage in _storages_of(proxy.policy):
-                storage.listener = lambda op, _entry: obs.cache_op(op)
+                storage.listener = lambda op, entry: obs.cache_op(
+                    op, entry.size, self._obs_now
+                )
         profiler = obs.profiler
         if profiler is not None:
             for proxy in self.proxies:

@@ -1,10 +1,19 @@
 """The metrics registry: instruments, bucket edges, exporters."""
 
 import json
+import re
 
 import pytest
 
-from repro.obs import DEFAULT_LATENCY_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    escape_help,
+    escape_label_value,
+)
 
 
 class TestCounter:
@@ -123,3 +132,141 @@ class TestRegistry:
 
     def test_empty_registry_renders_empty(self):
         assert MetricsRegistry().render_prometheus() == ""
+
+class TestLabels:
+    def test_labelsets_are_distinct_instruments(self):
+        registry = MetricsRegistry()
+        news = registry.counter("repro_req_total", labels={"trace": "news"})
+        sport = registry.counter("repro_req_total", labels={"trace": "sport"})
+        assert news is not sport
+        news.inc(3)
+        sport.inc(5)
+        assert news.value == 3.0
+        assert sport.value == 5.0
+        # Get-or-create keys on the canonical (sorted) labelset.
+        assert registry.counter("repro_req_total", labels={"trace": "news"}) is news
+
+    def test_label_order_is_canonicalised(self):
+        registry = MetricsRegistry()
+        first = registry.gauge("repro_g", labels={"a": "1", "b": "2"})
+        second = registry.gauge("repro_g", labels={"b": "2", "a": "1"})
+        assert first is second
+
+    def test_invalid_label_name_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("repro_c", labels={"9bad": "x"})
+        with pytest.raises(ValueError):
+            registry.counter("repro_c", labels={"has space": "x"})
+
+    def test_labeled_rendering_emits_header_once(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_req_total", "requests", labels={"trace": "news"}).inc(1)
+        registry.counter("repro_req_total", "requests", labels={"trace": "sport"}).inc(2)
+        text = registry.render_prometheus()
+        assert text.count("# HELP repro_req_total requests") == 1
+        assert text.count("# TYPE repro_req_total counter") == 1
+        assert 'repro_req_total{trace="news"} 1' in text
+        assert 'repro_req_total{trace="sport"} 2' in text
+
+    def test_labeled_histogram_merges_le_into_labelset(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "repro_lat", labels={"proxy": "3"}, buckets=(1.0,)
+        )
+        hist.observe(0.5)
+        text = registry.render_prometheus()
+        assert 'repro_lat_bucket{proxy="3",le="1"} 1' in text
+        assert 'repro_lat_bucket{proxy="3",le="+Inf"} 1' in text
+        assert 'repro_lat_sum{proxy="3"} 0.5' in text
+        assert 'repro_lat_count{proxy="3"} 1' in text
+
+    def test_as_dict_carries_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_c", labels={"trace": "news"}).inc(1)
+        payload = json.loads(registry.render_json())
+        (key,) = payload.keys()
+        assert payload[key]["labels"] == {"trace": "news"}
+
+
+class TestExpositionEscaping:
+    """Satellite (a): Prometheus text-format escaping round-trips."""
+
+    def test_escape_label_value_rules(self):
+        assert escape_label_value("plain") == "plain"
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value("back\\slash") == "back\\\\slash"
+        assert escape_label_value("two\nlines") == "two\\nlines"
+        # Backslash first: an embedded literal \n must not double-escape.
+        assert escape_label_value("\\n") == "\\\\n"
+
+    def test_escape_help_rules(self):
+        assert escape_help("plain help") == "plain help"
+        assert escape_help("multi\nline") == "multi\\nline"
+        assert escape_help("c:\\path") == "c:\\\\path"
+        # Double quotes are legal in HELP text, unescaped.
+        assert escape_help('say "hi"') == 'say "hi"'
+
+    NASTY_VALUES = [
+        'quote"inside',
+        "back\\slash",
+        "new\nline",
+        '\\"both\\"\n',
+        'tracker="news"\nfake_metric 1',  # exposition-injection attempt
+    ]
+
+    @staticmethod
+    def _parse_exposition(text):
+        """A minimal parser for the subset we emit: name{labels} value."""
+        samples = {}
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            body, value = line.rsplit(" ", 1)
+            if "{" in body:
+                name, _, labelpart = body.partition("{")
+                labels = {}
+                for match in re.finditer(r'(\w+)="((?:[^"\\]|\\.)*)"', labelpart):
+                    raw = match.group(2)
+                    labels[match.group(1)] = (
+                        raw.replace("\\n", "\n")
+                        .replace('\\"', '"')
+                        .replace("\\\\", "\\")
+                    )
+                key = (name, tuple(sorted(labels.items())))
+            else:
+                key = (body, ())
+            samples[key] = float(value)
+        return samples
+
+    @pytest.mark.parametrize("nasty", NASTY_VALUES)
+    def test_label_values_round_trip_through_exposition(self, nasty):
+        registry = MetricsRegistry()
+        registry.counter("repro_c_total", labels={"trace": nasty}).inc(4)
+        samples = self._parse_exposition(registry.render_prometheus())
+        assert samples == {("repro_c_total", (("trace", nasty),)): 4.0}
+
+    def test_newline_value_cannot_inject_samples(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_c_total", labels={"trace": 'x"} 9\nfake_total 1'}
+        ).inc(1)
+        text = registry.render_prometheus()
+        # Escaped payload stays on one physical line; no forged sample.
+        lines = [l for l in text.splitlines() if not l.startswith("#")]
+        assert len(lines) == 1
+        assert "fake_total 1" not in lines
+        samples = self._parse_exposition(text)
+        assert list(samples.values()) == [1.0]
+
+    def test_help_with_newline_stays_one_line(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_c_total", "first\nsecond").inc(1)
+        text = registry.render_prometheus()
+        assert "# HELP repro_c_total first\\nsecond" in text
+        assert "\nsecond" not in text.replace("\\nsecond", "")
+
+    def test_unlabeled_rendering_unchanged_by_escaping_layer(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_plain_total", "plain").inc(2)
+        assert "repro_plain_total 2" in registry.render_prometheus()

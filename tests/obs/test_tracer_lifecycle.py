@@ -1,0 +1,155 @@
+"""Tracing the subscription lifecycle: the seven lease event types.
+
+Unit half: the :class:`Observer` lifecycle hooks emit exactly the
+documented JSONL shape for ``subscribe``, ``unsubscribe``,
+``lease_confirmed``, ``lease_renewed``, ``lease_expired``,
+``handshake_lost`` and ``repoll``, and the tracer's type/proxy filters
+and ring bound apply to them like any other event.
+
+Integration half: a churned run traces all seven types end to end.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import EventTracer, Observer
+from repro.obs.tracer import EVENT_TYPES, read_jsonl
+from repro.sim.rng import RandomStreams
+from repro.system.config import SimulationConfig
+from repro.system.simulator import Simulation
+from repro.workload import generate_workload, news_config
+from repro.workload.churn import ChurnSpec
+
+LIFECYCLE_TYPES = (
+    "subscribe",
+    "unsubscribe",
+    "lease_confirmed",
+    "lease_renewed",
+    "lease_expired",
+    "handshake_lost",
+    "repoll",
+)
+
+
+def _emit_all(observer):
+    """Drive every lifecycle hook once, at distinct times."""
+    observer.lease_subscribe(1.0, page=4, proxy=0, lease=3600.0)
+    observer.lease_confirmed(2.0, page=4, proxy=0, latency=1.0)
+    observer.lease_renewed(3.0, page=4, proxy=0, lease=3600.0)
+    observer.handshake_lost(4.0, page=4, proxy=1, attempts=3)
+    observer.repoll(5.0, page=4, proxy=1, reason="access")
+    observer.lease_expired(6.0, page=4, proxy=0, where="publish")
+    observer.lease_unsubscribe(7.0, page=4, proxy=0)
+
+
+class TestLifecycleEventShape:
+    def test_all_seven_types_are_in_the_taxonomy(self):
+        assert set(LIFECYCLE_TYPES) <= EVENT_TYPES
+
+    def test_hooks_emit_one_jsonl_line_each(self):
+        sink = io.StringIO()
+        observer = Observer(tracer=EventTracer(sink=sink, max_events=0))
+        _emit_all(observer)
+        events = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert [event["type"] for event in events] == [
+            "subscribe",
+            "lease_confirmed",
+            "lease_renewed",
+            "handshake_lost",
+            "repoll",
+            "lease_expired",
+            "unsubscribe",
+        ]
+        assert all(event["page"] == 4 for event in events)
+
+    def test_type_specific_fields(self):
+        tracer = EventTracer()
+        observer = Observer(tracer=tracer)
+        _emit_all(observer)
+        by_type = {event["type"]: event for event in tracer.events()}
+        assert by_type["subscribe"]["lease"] == 3600.0
+        assert by_type["lease_renewed"]["lease"] == 3600.0
+        assert by_type["lease_confirmed"]["latency"] == 1.0
+        assert by_type["handshake_lost"]["attempts"] == 3
+        assert by_type["repoll"]["reason"] == "access"
+        assert by_type["lease_expired"]["where"] == "publish"
+
+    def test_type_filter_keeps_only_requested_lifecycle_events(self):
+        tracer = EventTracer(types=["handshake_lost", "repoll"])
+        observer = Observer(tracer=tracer)
+        _emit_all(observer)
+        assert [e["type"] for e in tracer.events()] == ["handshake_lost", "repoll"]
+        assert tracer.dropped == 5
+
+    def test_proxy_filter_applies_to_lifecycle_events(self):
+        tracer = EventTracer(proxies=[1])
+        observer = Observer(tracer=tracer)
+        _emit_all(observer)
+        assert [e["type"] for e in tracer.events()] == ["handshake_lost", "repoll"]
+        assert all(e["proxy"] == 1 for e in tracer.events())
+
+    def test_ring_overflow_drops_oldest_lifecycle_events(self):
+        tracer = EventTracer(max_events=3)
+        observer = Observer(tracer=tracer)
+        _emit_all(observer)
+        assert [e["type"] for e in tracer.events()] == [
+            "repoll",
+            "lease_expired",
+            "unsubscribe",
+        ]
+
+    def test_events_for_page_replays_the_lease_life(self):
+        tracer = EventTracer()
+        observer = Observer(tracer=tracer)
+        _emit_all(observer)
+        observer.lease_subscribe(8.0, page=9, proxy=0, lease=60.0)
+        life = tracer.events_for_page(4)
+        assert len(life) == 7
+        assert [event["t"] for event in life] == sorted(e["t"] for e in life)
+
+
+class TestChurnedRunTrace:
+    @pytest.fixture(scope="class")
+    def churned_trace(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("lifecycle") / "trace.jsonl")
+        workload = generate_workload(
+            news_config(scale=0.03), RandomStreams(2), label="news"
+        )
+        churned = workload.with_churn(
+            ChurnSpec(
+                churn_rate=4.0,
+                lease_duration=3 * 3600.0,
+                renew_probability=0.6,
+                confirmation_loss_probability=0.2,
+            ),
+            RandomStreams(2).stream("workload.churn"),
+        )
+        observer = Observer(tracer=EventTracer(sink=path, max_events=0))
+        config = SimulationConfig(strategy="dc-lap", seed=2)
+        result = Simulation(churned, config, observer=observer).run()
+        observer.close()
+        return read_jsonl(path), result
+
+    def test_all_seven_types_appear(self, churned_trace):
+        events, _ = churned_trace
+        seen = {event["type"] for event in events}
+        missing = set(LIFECYCLE_TYPES) - seen
+        assert not missing, f"trace never emitted: {sorted(missing)}"
+
+    def test_trace_counts_match_result_counters(self, churned_trace):
+        events, result = churned_trace
+        counts = {}
+        for event in events:
+            counts[event["type"]] = counts.get(event["type"], 0) + 1
+        assert counts["subscribe"] == result.leases_granted
+        assert counts["lease_renewed"] == result.leases_renewed
+        assert counts["lease_expired"] == result.leases_expired
+        assert counts["unsubscribe"] == result.leases_unsubscribed
+        # handshake_lost traces only fully-abandoned handshakes, not
+        # every individual lost confirmation attempt.
+        assert counts["handshake_lost"] == result.handshakes_abandoned
+        # A repoll trace fires for both expired-lease repolls and
+        # access-time handshake repairs (reason="expired"/"handshake").
+        assert counts["repoll"] == result.lease_repolls + result.handshake_repairs

@@ -428,3 +428,87 @@ def test_run_rejects_out_of_range_confirm_loss(capsys):
     )
     assert code == 2
     assert "confirmation_loss_probability" in capsys.readouterr().err
+
+
+def test_run_with_series_and_monitor_outputs(tmp_path, capsys):
+    series = tmp_path / "series.jsonl"
+    beats = tmp_path / "beats.jsonl"
+    code = main(
+        [
+            "run",
+            "--strategy", "sg2",
+            "--scale", "0.03",
+            "--seed", "3",
+            "--series-out", str(series),
+            "--monitor-out", str(beats),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert f"wrote {series}" in out
+    assert f"wrote {beats}" in out
+
+    from repro.obs import read_series_jsonl
+
+    windows = read_series_jsonl(str(series))
+    assert windows, "series file is empty"
+    assert sum(w["counters"].get("requests", 0) for w in windows) > 0
+
+    import json as _json
+
+    heartbeats = [_json.loads(line) for line in open(beats)]
+    assert heartbeats[-1]["final"] is True
+    assert heartbeats[-1]["events"] > 0
+
+
+def test_run_monitor_flag_emits_stderr_heartbeats(capsys):
+    code = main(
+        [
+            "run",
+            "--strategy", "sub",
+            "--scale", "0.03",
+            "--seed", "3",
+            "--monitor", "0.001",
+        ]
+    )
+    assert code == 0
+    err = capsys.readouterr().err
+    # The final heartbeat always lands, whatever the wall-clock pace.
+    assert "[monitor run]" in err
+    assert "events=" in err
+
+
+def test_run_monitor_does_not_change_printed_result(capsys):
+    args = ["run", "--strategy", "sub", "--scale", "0.03", "--seed", "3"]
+    assert main(args) == 0
+    plain = capsys.readouterr().out
+    assert main(args + ["--monitor", "1e9"]) == 0
+    monitored = capsys.readouterr().out
+    assert plain == monitored
+
+
+def test_inspect_json_summary(tmp_path, capsys):
+    import json as _json
+
+    trace = tmp_path / "trace.jsonl"
+    main(
+        [
+            "run",
+            "--strategy", "sub",
+            "--scale", "0.03",
+            "--seed", "3",
+            "--trace-out", str(trace),
+        ]
+    )
+    capsys.readouterr()
+    assert main(["inspect", str(trace), "--json", "--top", "2"]) == 0
+    payload = _json.loads(capsys.readouterr().out)
+    assert payload["event_count"] > 0
+    assert payload["counts_by_type"].get("request", 0) > 0
+    assert len(payload["top_pages_by_churn"]) <= 2
+
+    first_page = payload["top_pages_by_churn"][0]["page"]
+    assert main(["inspect", str(trace), "--json", "--page", str(first_page)]) == 0
+    history = _json.loads(capsys.readouterr().out)
+    assert isinstance(history, list)
+    assert all(event["page"] == first_page for event in history)
