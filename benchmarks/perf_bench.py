@@ -3,12 +3,13 @@
 Two measurements, one JSON (``BENCH_perf.json``):
 
 * **replay** — the same simulation cell (strategy ``sg2``, news trace,
-  5 % capacity) replayed through the legacy heap agenda
-  (``replay="agenda"``) and through the hybrid fast path
-  (``replay="fast"``), reported as events/sec over the static trace
-  (publish + request records).  The two runs' results are also compared
+  5 % capacity) replayed through all three engine stages: the legacy
+  heap agenda (``replay="agenda"``), the merged-iterator hybrid
+  (``replay="hybrid"``) and the batched single-loop interior
+  (``replay="fast"``), each reported as events/sec over the static
+  trace (publish + request records).  All three results are compared
   field-by-field (minus ``wall_seconds``/``profile``) so the file
-  records that the speedup was measured on bit-identical replays.
+  records that the speedups were measured on bit-identical replays.
 
 * **grid_cache** — a small multi-strategy grid run twice against one
   on-disk artifact cache directory: *cold* (empty cache, generation +
@@ -115,9 +116,14 @@ def run_benchmark(
         extra_nodes=20,
     )
 
-    legacy = _time_replay(workload, match_table, topology, seed, repeats, "agenda")
-    fast = _time_replay(workload, match_table, topology, seed, repeats, "fast")
-    bit_identical = _stripped(legacy["result"]) == _stripped(fast["result"])
+    stages = {
+        name: _time_replay(workload, match_table, topology, seed, repeats, name)
+        for name in ("agenda", "hybrid", "fast")
+    }
+    reference = _stripped(stages["agenda"]["result"])
+    bit_identical = all(
+        _stripped(timing["result"]) == reference for timing in stages.values()
+    )
 
     owns_cache_dir = cache_dir is None
     if owns_cache_dir:
@@ -154,15 +160,23 @@ def run_benchmark(
             ),
         },
     }
-    for name, timing in (("legacy", legacy), ("fast", fast)):
+    for name, timing in stages.items():
         payload["replay"][name] = {
             "seconds_per_run": timing["seconds_per_run"],
             "events_per_sec": timing["events_per_sec"],
             "all_seconds": timing["all_seconds"],
         }
-    legacy_eps = legacy["events_per_sec"]
-    fast_eps = fast["events_per_sec"]
-    payload["speedup"] = fast_eps / legacy_eps if legacy_eps else None
+    agenda_eps = stages["agenda"]["events_per_sec"]
+    hybrid_eps = stages["hybrid"]["events_per_sec"]
+    fast_eps = stages["fast"]["events_per_sec"]
+    # Headline speedup: the batched interior vs. the legacy agenda, plus
+    # the per-stage breakdown so regressions localise to one layer.
+    payload["speedup"] = fast_eps / agenda_eps if agenda_eps else None
+    payload["stage_speedups"] = {
+        "hybrid_vs_agenda": hybrid_eps / agenda_eps if agenda_eps else None,
+        "fast_vs_hybrid": fast_eps / hybrid_eps if hybrid_eps else None,
+        "fast_vs_agenda": fast_eps / agenda_eps if agenda_eps else None,
+    }
     return payload
 
 
@@ -195,6 +209,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     payload = run_benchmark(
         scale, grid_scale, seed=args.seed, repeats=repeats, cache_dir=args.cache_dir
     )
+    if args.smoke:
+        # Smoke runs land in the benchmark history under their own name
+        # so the regression gate never compares a tiny CI-runner sample
+        # against the committed full-scale trajectory.
+        payload["benchmark"] = "replay_perf_smoke"
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -205,9 +224,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"  {name:>6s}: {entry['seconds_per_run']:.4f} s/run "
             f"({entry['events_per_sec']:,.0f} events/s)"
         )
+    breakdown = payload["stage_speedups"]
     print(
-        f"  speedup: {payload['speedup']:.2f}x "
-        f"(bit-identical: {payload['bit_identical']})"
+        f"  speedup: {payload['speedup']:.2f}x fast-vs-agenda "
+        f"(hybrid {breakdown['hybrid_vs_agenda']:.2f}x, "
+        f"fast-vs-hybrid {breakdown['fast_vs_hybrid']:.2f}x; "
+        f"bit-identical: {payload['bit_identical']})"
     )
     grid = payload["grid_cache"]
     print(

@@ -5,11 +5,16 @@ state the replacement policies maintain.  The dual-cache strategies
 (DC-FP/DC-AP/DC-LAP) additionally label each entry with the module that
 owns its storage — the paper's 2-tuple ``(o, v)`` where ``o`` is the
 owning module and ``v`` the value under that module's policy (§3.3).
+
+Entries are the highest-population objects of a replay (one per cached
+page per proxy, churned on every eviction), so the class is a plain
+``__slots__`` record rather than a dataclass: no per-instance
+``__dict__``, cheaper attribute access, and a fixed field set the
+replacement policies can mutate in place.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Tuple
 
 #: Entry/storage owned by the access-time (caching) module.
@@ -17,8 +22,20 @@ ACCESS_MODULE = "access"
 #: Entry/storage owned by the push-time (placing) module.
 PUSH_MODULE = "push"
 
+_FIELDS = (
+    "page_id",
+    "version",
+    "size",
+    "cost",
+    "access_count",
+    "match_count",
+    "value",
+    "module",
+    "accessed_since_replacement",
+    "last_access_time",
+)
 
-@dataclass
+
 class CacheEntry:
     """A cached page version plus policy bookkeeping.
 
@@ -39,24 +56,37 @@ class CacheEntry:
         last_access_time: simulation time of the latest hit.
     """
 
-    page_id: int
-    version: int
-    size: int
-    cost: float
-    access_count: int = 0
-    match_count: int = 0
-    value: float = 0.0
-    module: str = ACCESS_MODULE
-    accessed_since_replacement: bool = True
-    last_access_time: float = field(default=0.0)
+    __slots__ = _FIELDS
 
-    def __post_init__(self) -> None:
-        if self.size <= 0:
-            raise ValueError(f"entry size must be positive, got {self.size}")
-        if self.cost <= 0:
-            raise ValueError(f"entry cost must be positive, got {self.cost}")
-        if self.module not in (ACCESS_MODULE, PUSH_MODULE):
-            raise ValueError(f"unknown module label: {self.module!r}")
+    def __init__(
+        self,
+        page_id: int,
+        version: int,
+        size: int,
+        cost: float,
+        access_count: int = 0,
+        match_count: int = 0,
+        value: float = 0.0,
+        module: str = ACCESS_MODULE,
+        accessed_since_replacement: bool = True,
+        last_access_time: float = 0.0,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"entry size must be positive, got {size}")
+        if cost <= 0:
+            raise ValueError(f"entry cost must be positive, got {cost}")
+        if module not in (ACCESS_MODULE, PUSH_MODULE):
+            raise ValueError(f"unknown module label: {module!r}")
+        self.page_id = page_id
+        self.version = version
+        self.size = size
+        self.cost = cost
+        self.access_count = access_count
+        self.match_count = match_count
+        self.value = value
+        self.module = module
+        self.accessed_since_replacement = accessed_since_replacement
+        self.last_access_time = last_access_time
 
     @property
     def key(self) -> Tuple[int, int]:
@@ -68,3 +98,14 @@ class CacheEntry:
         self.access_count += 1
         self.accessed_since_replacement = True
         self.last_access_time = at
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CacheEntry):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name) for name in _FIELDS
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        fields = ", ".join(f"{name}={getattr(self, name)!r}" for name in _FIELDS)
+        return f"CacheEntry({fields})"

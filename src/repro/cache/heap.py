@@ -8,11 +8,18 @@ they surface.  All operations are O(log n) amortized.
 
 Ties on priority are broken by insertion sequence, which keeps eviction
 order deterministic across runs.
+
+Each key's live record is the very ``(priority, sequence, key)`` tuple
+sitting in the backing list, stored once in ``_live``.  ``push`` then
+costs a single dict store beyond the heapq insert (the tuple had to be
+built for heapq anyway), the hot-path liveness test in ``_skim`` is one
+dict probe plus an identity check, and ``compact`` rebuilds the backing
+list straight from ``_live.values()`` with no tuple construction.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from typing import Dict, Hashable, List, Optional, Tuple
 
 
@@ -22,11 +29,19 @@ _COMPACT_FLOOR = 64
 
 
 class AddressableHeap:
-    """Min-heap mapping hashable keys to float priorities."""
+    """Min-heap mapping hashable keys to float priorities.
+
+    The three backing fields are slotted — ``push`` runs once per
+    replayed request — while ``"__dict__"`` stays in the slot list so
+    :meth:`instrument` can still shadow ``push``/``pop`` with
+    per-instance profiler wrappers.
+    """
+
+    __slots__ = ("_heap", "_live", "_sequence", "__dict__")
 
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, Hashable]] = []
-        self._live: Dict[Hashable, Tuple[float, int]] = {}
+        self._live: Dict[Hashable, Tuple[float, int, Hashable]] = {}
         self._sequence = 0
 
     def __len__(self) -> int:
@@ -44,11 +59,13 @@ class AddressableHeap:
         hit) keep the list at most ~2× the live population instead of
         growing without bound.
         """
-        self._sequence += 1
-        record = (float(priority), self._sequence, key)
-        self._live[key] = (record[0], record[1])
-        heapq.heappush(self._heap, record)
-        heap_size = len(self._heap)
+        sequence = self._sequence + 1
+        self._sequence = sequence
+        record = (priority, sequence, key)
+        self._live[key] = record
+        heap = self._heap
+        heappush(heap, record)
+        heap_size = len(heap)
         if heap_size >= _COMPACT_FLOOR and heap_size > 2 * len(self._live):
             self.compact()
 
@@ -77,11 +94,12 @@ class AddressableHeap:
         heap = self._heap
         live = self._live
         while heap:
-            priority, sequence, key = heap[0]
-            current = live.get(key)
-            if current is not None and current == (priority, sequence):
+            record = heap[0]
+            # The live record *is* the heap record, so identity alone
+            # proves this record is the key's current one.
+            if live.get(record[2]) is record:
                 return
-            heapq.heappop(heap)
+            heappop(heap)
 
     def peek(self) -> Tuple[Hashable, float]:
         """(key, priority) of the minimum without removing it."""
@@ -96,7 +114,7 @@ class AddressableHeap:
         self._skim()
         if not self._heap:
             raise IndexError("heap is empty")
-        priority, _sequence, key = heapq.heappop(self._heap)
+        priority, _sequence, key = heappop(self._heap)
         del self._live[key]
         return key, priority
 
@@ -118,14 +136,15 @@ class AddressableHeap:
     def compact(self) -> None:
         """Rebuild the backing list, dropping all dead records.
 
+        Compaction never changes pop order: live records keep their
+        ``(priority, sequence)`` sort keys, and heapify orders them
+        exactly as lazy skimming would have.
+
         Called opportunistically by callers that churn keys heavily;
         never required for correctness.
         """
-        self._heap = [
-            (priority, sequence, key)
-            for key, (priority, sequence) in self._live.items()
-        ]
-        heapq.heapify(self._heap)
+        self._heap = list(self._live.values())
+        heapify(self._heap)
 
     def maybe_compact(self, slack_factor: float = 4.0) -> None:
         """Compact when dead records dominate the backing list."""

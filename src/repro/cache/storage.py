@@ -15,7 +15,14 @@ from repro.cache.entry import CacheEntry
 
 
 class CacheStorage:
-    """A capacity-limited store of cache entries, keyed by page_id."""
+    """A capacity-limited store of cache entries, keyed by page_id.
+
+    The byte-accounting fields are slotted for the replay hot path;
+    ``"__dict__"`` stays in the slot list so the observer can still
+    install its per-instance ``listener`` attribute.
+    """
+
+    __slots__ = ("capacity_bytes", "_entries", "_used_bytes", "__dict__")
 
     #: Optional observability hook, called as ``listener(op, entry)``
     #: with ``op`` in {"add", "remove"} after each successful mutation.
@@ -74,6 +81,17 @@ class CacheStorage:
 
     def entries(self) -> Iterator[CacheEntry]:
         return iter(self._entries.values())
+
+    @property
+    def entries_by_id(self) -> Dict[int, CacheEntry]:
+        """The live page_id -> entry map.
+
+        This is the backing dict itself, not a copy — hot replay loops
+        probe it directly (``entries_by_id.get(page)``) without paying a
+        bound-method call per event.  Callers must treat it as
+        read-only; mutations bypass byte accounting and the listener.
+        """
+        return self._entries
 
     def add(self, entry: CacheEntry) -> None:
         """Insert ``entry``; the caller must have made room first."""

@@ -561,9 +561,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--beta", type=float, default=None)
     run_parser.add_argument(
-        "--replay", choices=["fast", "agenda"], default="fast",
-        help="trace replay engine: the merged fast path (default) or "
-             "the legacy heap agenda (bit-identical results)",
+        "--replay", choices=["fast", "hybrid", "agenda"], default="fast",
+        help="trace replay engine: the batched fast path (default), the "
+             "merged-iterator hybrid, or the legacy heap agenda (all "
+             "bit-identical results)",
     )
     run_parser.add_argument(
         "--churn-rate", type=float, default=None, metavar="CYCLES",

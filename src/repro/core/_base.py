@@ -18,7 +18,7 @@ can maintain the inflation value ``L``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.cache.entry import CacheEntry
 from repro.cache.heap import AddressableHeap
@@ -36,16 +36,29 @@ class EvictionResult:
     """
 
     success: bool
-    evicted: List[CacheEntry]
+    evicted: Sequence[CacheEntry]
     last_value: Optional[float]
+
+
+#: Interned no-eviction outcomes.  Placement attempts resolve to one of
+#: these far more often than they evict (the page fits, or nothing
+#: cheap enough exists), and the replay hot path makes one attempt per
+#: miss — sharing the two empty results avoids a dataclass construction
+#: per event.  ``evicted`` is an (immutable) empty tuple: callers only
+#: iterate it.
+_FITS = EvictionResult(success=True, evicted=(), last_value=None)
+_REJECTED = EvictionResult(success=False, evicted=(), last_value=None)
 
 
 class HeapCache:
     """Byte-accounted storage plus a value-ordered eviction heap."""
 
+    __slots__ = ("storage", "heap", "_entries")
+
     def __init__(self, capacity_bytes: int) -> None:
         self.storage = CacheStorage(capacity_bytes)
         self.heap = AddressableHeap()
+        self._entries = self.storage.entries_by_id
 
     # -- delegation -------------------------------------------------------
 
@@ -79,12 +92,14 @@ class HeapCache:
         self.heap.push(entry.page_id, value)
 
     def reprice(self, entry: CacheEntry, value: float) -> None:
-        """Update the value of a cached entry (e.g. after a hit)."""
+        """Update the value of a cached entry (e.g. after a hit).
+
+        Dead records from hit-heavy repricing are bounded by the heap's
+        own auto-compaction in ``push`` (backing list <= 2x live once it
+        crosses the compaction floor), so no extra sweep is needed here.
+        """
         entry.value = value
         self.heap.push(entry.page_id, value)
-        # Hit-heavy workloads reprice far more often than they evict,
-        # so dead heap records accumulate; compact opportunistically.
-        self.heap.maybe_compact()
 
     def remove(self, page_id: int) -> CacheEntry:
         """Remove an entry without counting it as an eviction."""
@@ -104,15 +119,16 @@ class HeapCache:
         Fails only when ``size`` exceeds total capacity (nothing is
         evicted in that case).
         """
-        if size <= self.storage.free_bytes:
-            return EvictionResult(success=True, evicted=[], last_value=None)
-        if size > self.storage.capacity_bytes:
-            return EvictionResult(success=False, evicted=[], last_value=None)
+        storage = self.storage
+        if size <= storage.free_bytes:
+            return _FITS
+        if size > storage.capacity_bytes:
+            return _REJECTED
         evicted: List[CacheEntry] = []
         last_value: Optional[float] = None
-        while self.storage.free_bytes < size:
+        while storage.free_bytes < size:
             page_id, value = self.heap.pop()
-            entry = self.storage.remove(page_id)
+            entry = storage.remove(page_id)
             evicted.append(entry)
             last_value = value
         return EvictionResult(success=True, evicted=evicted, last_value=last_value)
@@ -124,30 +140,40 @@ class HeapCache:
         cannot fit ``size`` bytes, no entry is evicted and the result is
         a failure.  Implemented as pop-and-rollback so no O(n) scan of
         the cache is needed per placement attempt.
-        """
-        if size <= self.storage.free_bytes:
-            return EvictionResult(success=True, evicted=[], last_value=None)
-        if size > self.storage.capacity_bytes:
-            return EvictionResult(success=False, evicted=[], last_value=None)
 
+        Runs once per placement attempt (every cache miss under the
+        gated policies), so the byte arithmetic reads the storage
+        fields directly instead of going through the ``free_bytes``
+        property on every probe.
+        """
+        storage = self.storage
+        capacity = storage.capacity_bytes
+        free = capacity - storage._used_bytes
+        if size <= free:
+            return _FITS
+        if size > capacity:
+            return _REJECTED
+
+        heap = self.heap
+        entries = self._entries
         popped: List[Tuple[int, float]] = []
         freed = 0
-        needed = size - self.storage.free_bytes
+        needed = size - free
         while freed < needed:
-            minimum = self.heap.min_priority()
+            minimum = heap.min_priority()
             if minimum is None or minimum >= threshold:
                 # Not enough cheap pages: roll back.
                 for page_id, value in popped:
-                    self.heap.push(page_id, value)
-                return EvictionResult(success=False, evicted=[], last_value=None)
-            page_id, value = self.heap.pop()
+                    heap.push(page_id, value)
+                return _REJECTED
+            page_id, value = heap.pop()
             popped.append((page_id, value))
-            freed += self.storage.get(page_id).size
+            freed += entries[page_id].size
 
         evicted = []
         last_value: Optional[float] = None
         for page_id, value in popped:
-            evicted.append(self.storage.remove(page_id))
+            evicted.append(storage.remove(page_id))
             last_value = value
         return EvictionResult(success=True, evicted=evicted, last_value=last_value)
 

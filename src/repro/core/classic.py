@@ -12,7 +12,16 @@ from __future__ import annotations
 
 from repro.cache.entry import CacheEntry
 from repro.core._base import HeapCache
-from repro.core.policy import Policy, PushOutcome, RequestOutcome
+from repro.core.policy import (
+    PUSH_SKIPPED,
+    REQUEST_HIT,
+    REQUEST_MISS,
+    REQUEST_MISS_CACHED,
+    REQUEST_STALE,
+    Policy,
+    PushOutcome,
+    RequestOutcome,
+)
 
 
 class _AccessOnlyPolicy(Policy):
@@ -27,7 +36,7 @@ class _AccessOnlyPolicy(Policy):
     def on_publish(
         self, page_id: int, version: int, size: int, match_count: int, now: float
     ) -> PushOutcome:
-        return PushOutcome(stored=False)
+        return PUSH_SKIPPED
 
     def on_request(
         self, page_id: int, version: int, size: int, match_count: int, now: float
@@ -37,18 +46,18 @@ class _AccessOnlyPolicy(Policy):
             entry.record_access(now)
             self._cache.reprice(entry, self._value(entry, now))
             self._record_request(hit=True, size=size, now=now)
-            return RequestOutcome(hit=True, cached_after=True)
+            return REQUEST_HIT
         if entry is not None:
             entry.version = version
             entry.record_access(now)
             self._cache.reprice(entry, self._value(entry, now))
             self._record_request(hit=False, size=size, now=now, stale=True)
-            return RequestOutcome(hit=False, stale=True, cached_after=True)
+            return REQUEST_STALE
 
         self._record_request(hit=False, size=size, now=now)
         result = self._cache.evict_for(size)
         if not result.success:
-            return RequestOutcome(hit=False, cached_after=False)
+            return REQUEST_MISS
         for evicted in result.evicted:
             self._note_eviction(evicted)
         self._after_evictions(result)
@@ -61,7 +70,7 @@ class _AccessOnlyPolicy(Policy):
             last_access_time=now,
         )
         self._cache.add(entry, self._value(entry, now))
-        return RequestOutcome(hit=False, cached_after=True)
+        return REQUEST_MISS_CACHED
 
     def _after_evictions(self, result) -> None:
         """Hook for aging mechanisms (GDS/LFU-DA inflation)."""

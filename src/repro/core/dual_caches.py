@@ -28,7 +28,20 @@ from typing import List, Tuple
 
 from repro.cache.entry import CacheEntry, ACCESS_MODULE, PUSH_MODULE
 from repro.core._base import HeapCache
-from repro.core.policy import Policy, PushOutcome, RequestOutcome
+from repro.core.policy import (
+    PUSH_REFRESHED,
+    PUSH_SKIPPED,
+    PUSH_STORED,
+    REQUEST_HIT,
+    REQUEST_HIT_DROPPED,
+    REQUEST_MISS,
+    REQUEST_MISS_CACHED,
+    REQUEST_STALE,
+    REQUEST_STALE_DROPPED,
+    Policy,
+    PushOutcome,
+    RequestOutcome,
+)
 from repro.core.values import gdstar_value, sub_value
 
 
@@ -116,26 +129,26 @@ class _DualCacheBase(Policy):
         in_pc = self.pc.get(page_id)
         if in_pc is not None:
             if in_pc.version == version:
-                return PushOutcome(stored=False)
+                return PUSH_SKIPPED
             in_pc.version = version
             in_pc.match_count = match_count
             self.pc.reprice(in_pc, self._sub_value(in_pc))
             self.stats.record_push(stored=True, size=size, transferred=True)
-            return PushOutcome(stored=True, refreshed=True)
+            return PUSH_REFRESHED
         in_ac = self.ac.get(page_id)
         if in_ac is not None:
             if in_ac.version == version:
-                return PushOutcome(stored=False)
+                return PUSH_SKIPPED
             # Content refresh of an access-cache resident; ownership
             # and GD* value are unchanged (an update is not an access).
             in_ac.version = version
             in_ac.match_count = match_count
             self.stats.record_push(stored=True, size=size, transferred=True)
-            return PushOutcome(stored=True, refreshed=True)
+            return PUSH_REFRESHED
 
         stored = self._pc_place(page_id, version, size, match_count, now)
         self.stats.record_push(stored=stored, size=size, transferred=stored)
-        return PushOutcome(stored=stored)
+        return PUSH_STORED if stored else PUSH_SKIPPED
 
     def _pc_place(
         self, page_id: int, version: int, size: int, match_count: int, now: float
@@ -169,24 +182,24 @@ class _DualCacheBase(Policy):
             if in_pc.version == version:
                 self._record_request(hit=True, size=size, now=now)
                 cached = self._promote(in_pc, now)
-                return RequestOutcome(hit=True, cached_after=cached)
+                return REQUEST_HIT if cached else REQUEST_HIT_DROPPED
             # Stale in PC: fetch fresh bytes, refresh, then promote —
             # the page is referenced now, so it belongs to AC.
             in_pc.version = version
             self._record_request(hit=False, size=size, now=now, stale=True)
             cached = self._promote(in_pc, now)
-            return RequestOutcome(hit=False, stale=True, cached_after=cached)
+            return REQUEST_STALE if cached else REQUEST_STALE_DROPPED
 
         in_ac = self.ac.get(page_id)
         if in_ac is not None:
             if in_ac.version == version:
                 self._ac_touch(in_ac, now)
                 self._record_request(hit=True, size=size, now=now)
-                return RequestOutcome(hit=True, cached_after=True)
+                return REQUEST_HIT
             in_ac.version = version
             self._ac_touch(in_ac, now)
             self._record_request(hit=False, size=size, now=now, stale=True)
-            return RequestOutcome(hit=False, stale=True, cached_after=True)
+            return REQUEST_STALE
 
         self._record_request(hit=False, size=size, now=now)
         entry = CacheEntry(
@@ -199,7 +212,7 @@ class _DualCacheBase(Policy):
             last_access_time=now,
         )
         cached = self._ac_admit(entry)
-        return RequestOutcome(hit=False, cached_after=cached)
+        return REQUEST_MISS_CACHED if cached else REQUEST_MISS
 
     def _promote(self, entry: CacheEntry, now: float) -> bool:
         """Handle the first access to a PC resident.  Returns whether the

@@ -23,7 +23,18 @@ from typing import List, Optional, Tuple
 from repro.cache.entry import CacheEntry, ACCESS_MODULE, PUSH_MODULE
 from repro.cache.heap import AddressableHeap
 from repro.cache.storage import CacheStorage
-from repro.core.policy import Policy, PushOutcome, RequestOutcome
+from repro.core.policy import (
+    PUSH_REFRESHED,
+    PUSH_SKIPPED,
+    PUSH_STORED,
+    REQUEST_HIT,
+    REQUEST_MISS,
+    REQUEST_MISS_CACHED,
+    REQUEST_STALE,
+    Policy,
+    PushOutcome,
+    RequestOutcome,
+)
 from repro.core.values import gdstar_value, sub_value
 
 
@@ -74,19 +85,19 @@ class DualMethodsPolicy(Policy):
         existing = self._storage.get(page_id)
         if existing is not None:
             if existing.version == version:
-                return PushOutcome(stored=False)
+                return PUSH_SKIPPED
             # Self-refresh of the cache's own stale copy; the SUB-side
             # value is static so only the content changes.
             existing.version = version
             existing.match_count = match_count
             self._push_heap.push(page_id, self._push_value(existing))
             self.stats.record_push(stored=True, size=size, transferred=True)
-            return PushOutcome(stored=True, refreshed=True)
+            return PUSH_REFRESHED
 
         threshold = sub_value(match_count, self.cost, size)
         if not self._evict_cheaper_by_push_value(size, threshold):
             self.stats.record_push(stored=False, size=size, transferred=False)
-            return PushOutcome(stored=False)
+            return PUSH_SKIPPED
         entry = CacheEntry(
             page_id=page_id,
             version=version,
@@ -98,7 +109,7 @@ class DualMethodsPolicy(Policy):
         )
         self._insert(entry)
         self.stats.record_push(stored=True, size=size, transferred=True)
-        return PushOutcome(stored=True)
+        return PUSH_STORED
 
     def _evict_cheaper_by_push_value(self, size: int, threshold: float) -> bool:
         """SUB's all-or-nothing conditional eviction over the push heap.
@@ -140,7 +151,7 @@ class DualMethodsPolicy(Policy):
             entry.value = value
             self._access_heap.push(page_id, value)
             self._record_request(hit=True, size=size, now=now)
-            return RequestOutcome(hit=True, cached_after=True)
+            return REQUEST_HIT
 
         if entry is not None:
             entry.version = version
@@ -149,11 +160,11 @@ class DualMethodsPolicy(Policy):
             entry.value = value
             self._access_heap.push(page_id, value)
             self._record_request(hit=False, size=size, now=now, stale=True)
-            return RequestOutcome(hit=False, stale=True, cached_after=True)
+            return REQUEST_STALE
 
         self._record_request(hit=False, size=size, now=now)
         if size > self._storage.capacity_bytes:
-            return RequestOutcome(hit=False, cached_after=False)
+            return REQUEST_MISS
         last_value: Optional[float] = None
         while self._storage.free_bytes < size:
             victim_id, victim_value = self._access_heap.pop()
@@ -174,7 +185,7 @@ class DualMethodsPolicy(Policy):
             last_access_time=now,
         )
         self._insert(entry)
-        return RequestOutcome(hit=False, cached_after=True)
+        return REQUEST_MISS_CACHED
 
     def drop_contents(self) -> None:
         self._storage.clear()

@@ -25,11 +25,22 @@ pushing schemes (Fig. 7).
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Dict
 
 from repro.cache.entry import CacheEntry
+from repro.cache.heap import _COMPACT_FLOOR
 from repro.core._base import HeapCache
-from repro.core.policy import Policy, PushOutcome, RequestOutcome
+from repro.core.policy import (
+    PUSH_SKIPPED,
+    REQUEST_HIT,
+    REQUEST_MISS,
+    REQUEST_MISS_CACHED,
+    REQUEST_STALE,
+    Policy,
+    PushOutcome,
+    RequestOutcome,
+)
 from repro.core.values import gdstar_value
 
 
@@ -38,6 +49,19 @@ class GDStarPolicy(Policy):
 
     name = "gdstar"
     uses_push = False
+
+    # Fully slotted — same hot-path rationale as
+    # SingleCacheCombinedPolicy.
+    __slots__ = (
+        "beta",
+        "retain_counts_on_eviction",
+        "inflation",
+        "_cache",
+        "_evicted_counts",
+        "_inv_beta",
+        "_entries",
+        "_heap",
+    )
 
     def __init__(
         self,
@@ -55,6 +79,11 @@ class GDStarPolicy(Policy):
         self._cache = HeapCache(capacity_bytes)
         #: Reference counts kept across evictions (ablation mode only).
         self._evicted_counts: Dict[int, int] = {}
+        # Hot-path aliases (see SingleCacheCombinedPolicy): direct entry
+        # probes and heap pushes, plus the loop-invariant ``1/beta``.
+        self._inv_beta = 1.0 / self.beta
+        self._entries = self._cache.storage.entries_by_id
+        self._heap = self._cache.heap
 
     # -- push time: nothing happens ------------------------------------------
 
@@ -63,31 +92,63 @@ class GDStarPolicy(Policy):
     ) -> PushOutcome:
         """Pure caching ignores publications (the cached copy, if any,
         simply becomes stale and is detected at the next access)."""
-        return PushOutcome(stored=False)
+        return PUSH_SKIPPED
 
     # -- access time --------------------------------------------------------
 
     def on_request(
         self, page_id: int, version: int, size: int, match_count: int, now: float
     ) -> RequestOutcome:
-        entry = self._cache.get(page_id)
-        if entry is not None and entry.version == version:
-            entry.record_access(now)
-            self._cache.reprice(entry, self._value(entry))
-            self._record_request(hit=True, size=size, now=now)
-            return RequestOutcome(hit=True, cached_after=True)
-
+        # Replay hot path: valuation, repricing and stats inlined; the
+        # math reproduces values.gdstar_value bit for bit.
+        entry = self._entries.get(page_id)
+        stats = self.stats
+        bucket = int(now // 3600.0)
+        stats.requests += 1
+        breq = stats.bucketed_requests
+        breq[bucket] = breq.get(bucket, 0) + 1
         if entry is not None:
-            # Stale copy: fetch the fresh version, refresh in place.
-            entry.version = version
-            entry.record_access(now)
-            self._cache.reprice(entry, self._value(entry))
-            self._record_request(hit=False, size=size, now=now, stale=True)
-            return RequestOutcome(hit=False, stale=True, cached_after=True)
+            hit = entry.version == version
+            if not hit:
+                # Stale copy: fetch the fresh version, refresh in place.
+                entry.version = version
+            entry.access_count += 1
+            entry.accessed_since_replacement = True
+            entry.last_access_time = now
+            base = entry.access_count * entry.cost / entry.size
+            if base <= 0.0:
+                value = self.inflation
+            else:
+                value = self.inflation + base ** self._inv_beta
+            entry.value = value
+            # Inlined AddressableHeap.push — see SingleCacheCombinedPolicy.
+            heap = self._heap
+            sequence = heap._sequence + 1
+            heap._sequence = sequence
+            record = (value, sequence, page_id)
+            live = heap._live
+            live[page_id] = record
+            backing = heap._heap
+            heappush(backing, record)
+            backing_size = len(backing)
+            if backing_size >= _COMPACT_FLOOR and backing_size > 2 * len(live):
+                heap.compact()
+            if hit:
+                stats.hits += 1
+                stats.bytes_served_local += size
+                bhits = stats.bucketed_hits
+                bhits[bucket] = bhits.get(bucket, 0) + 1
+                return REQUEST_HIT
+            stats.stale_hits += 1
+            stats.pages_fetched += 1
+            stats.bytes_fetched += size
+            return REQUEST_STALE
 
-        self._record_request(hit=False, size=size, now=now)
-        cached = self._admit(page_id, version, size, now)
-        return RequestOutcome(hit=False, cached_after=cached)
+        stats.pages_fetched += 1
+        stats.bytes_fetched += size
+        if self._admit(page_id, version, size, now):
+            return REQUEST_MISS_CACHED
+        return REQUEST_MISS
 
     def _admit(self, page_id: int, version: int, size: int, now: float) -> bool:
         """Unconditional GD* placement of a just-fetched page."""

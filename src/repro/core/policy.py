@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from repro.cache.stats import CacheStats
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PushOutcome:
     """Result of a push-time placement attempt.
 
@@ -41,7 +41,7 @@ class PushOutcome:
             raise ValueError("refreshed implies stored")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestOutcome:
     """Result of serving one user request.
 
@@ -62,6 +62,24 @@ class RequestOutcome:
             raise ValueError("a hit cannot be stale")
 
 
+# Interned outcome constants.  Frozen dataclasses pay an
+# ``object.__setattr__`` per field on construction, and the replay hot
+# path returns one outcome per event — millions per run.  The nine
+# combinations the policies actually produce are pre-built here;
+# equality is by value, so callers that compare against freshly
+# constructed instances are unaffected.
+PUSH_SKIPPED = PushOutcome(stored=False)
+PUSH_STORED = PushOutcome(stored=True)
+PUSH_REFRESHED = PushOutcome(stored=True, refreshed=True)
+
+REQUEST_HIT = RequestOutcome(hit=True, cached_after=True)
+REQUEST_HIT_DROPPED = RequestOutcome(hit=True, cached_after=False)
+REQUEST_STALE = RequestOutcome(hit=False, stale=True, cached_after=True)
+REQUEST_STALE_DROPPED = RequestOutcome(hit=False, stale=True, cached_after=False)
+REQUEST_MISS = RequestOutcome(hit=False, cached_after=False)
+REQUEST_MISS_CACHED = RequestOutcome(hit=False, cached_after=True)
+
+
 class Policy(ABC):
     """Base class for placement/replacement strategies on one proxy.
 
@@ -69,7 +87,15 @@ class Policy(ABC):
         capacity_bytes: cache capacity of this proxy.
         cost: fetch cost ``c(p)`` from this proxy to the publisher
             (network hop distance; constant per proxy, per §3.1).
+
+    The base attributes the replay hot paths touch on every event are
+    slotted; ``"__dict__"`` stays in the slot list so subclasses that
+    declare no ``__slots__`` of their own — and ad-hoc instance
+    attributes like the per-instance ``name`` override or the
+    observer-installed ``evict_listener`` — keep working unchanged.
     """
+
+    __slots__ = ("capacity_bytes", "cost", "stats", "__dict__")
 
     #: Registry name, set by subclasses (e.g. ``"gdstar"``).
     name: str = "abstract"

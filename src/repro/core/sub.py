@@ -16,7 +16,17 @@ from __future__ import annotations
 
 from repro.cache.entry import CacheEntry, PUSH_MODULE
 from repro.core._base import HeapCache
-from repro.core.policy import Policy, PushOutcome, RequestOutcome
+from repro.core.policy import (
+    PUSH_REFRESHED,
+    PUSH_SKIPPED,
+    PUSH_STORED,
+    REQUEST_HIT,
+    REQUEST_MISS,
+    REQUEST_STALE,
+    Policy,
+    PushOutcome,
+    RequestOutcome,
+)
 from repro.core.values import sub_value
 
 
@@ -51,21 +61,21 @@ class SubPolicy(Policy):
         existing = self._cache.get(page_id)
         if existing is not None:
             if existing.version == version:
-                return PushOutcome(stored=False)
+                return PUSH_SKIPPED
             if not self.refresh_on_push:
                 self.stats.record_push(stored=False, size=size, transferred=False)
-                return PushOutcome(stored=False)
+                return PUSH_SKIPPED
             existing.version = version
             existing.match_count = match_count
             self._cache.reprice(existing, self._value(existing))
             self.stats.record_push(stored=True, size=size, transferred=True)
-            return PushOutcome(stored=True, refreshed=True)
+            return PUSH_REFRESHED
 
         value = sub_value(match_count, self.cost, size)
         result = self._cache.evict_cheaper_for(size, threshold=value)
         if not result.success:
             self.stats.record_push(stored=False, size=size, transferred=False)
-            return PushOutcome(stored=False)
+            return PUSH_SKIPPED
         for evicted in result.evicted:
             self._note_eviction(evicted, cause="displaced")
         entry = CacheEntry(
@@ -79,7 +89,7 @@ class SubPolicy(Policy):
         )
         self._cache.add(entry, value)
         self.stats.record_push(stored=True, size=size, transferred=True)
-        return PushOutcome(stored=True)
+        return PUSH_STORED
 
     # -- access time ----------------------------------------------------------
 
@@ -90,17 +100,17 @@ class SubPolicy(Policy):
         if entry is not None and entry.version == version:
             entry.record_access(now)
             self._record_request(hit=True, size=size, now=now)
-            return RequestOutcome(hit=True, cached_after=True)
+            return REQUEST_HIT
         if entry is not None:
             # Stale copy: the fresh version is fetched and forwarded,
             # but SUB performs no access-time placement (§3.2), so the
             # cached bytes are NOT updated; the copy stays stale.
             entry.record_access(now)
             self._record_request(hit=False, size=size, now=now, stale=True)
-            return RequestOutcome(hit=False, stale=True, cached_after=True)
+            return REQUEST_STALE
         # Push-time-only: forward without caching (§3.2).
         self._record_request(hit=False, size=size, now=now)
-        return RequestOutcome(hit=False, cached_after=False)
+        return REQUEST_MISS
 
     def _value(self, entry: CacheEntry) -> float:
         return sub_value(entry.match_count, entry.cost, entry.size)

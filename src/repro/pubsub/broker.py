@@ -51,7 +51,7 @@ class Broker:
         page_version = PageVersion(page=page, version=version_number, published_at=at)
         self.published_count += 1
 
-        counts = self.matching.match_counts(page)
+        counts = self.matching.match_count_vector(page)
         if counts and self.routing is not None:
             proxy_indices = sorted(counts)
             for proxy_index in proxy_indices:

@@ -214,6 +214,55 @@ class MatchingEngine:
             counts[subscription.proxy_id] += 1
         return dict(counts)
 
+    def match_count_vector(
+        self, page: Page, now: Optional[float] = None
+    ) -> Dict[int, int]:
+        """Per-proxy match counts in one pass over the subscription index.
+
+        Equal (as a mapping) to :meth:`match_counts`, but each match is
+        added straight into the per-proxy accumulator — the matched
+        :class:`Subscription` objects are never collected into a list
+        or sorted, so a publish costs one index sweep regardless of how
+        many subscriptions match.  Lazy lease expiry behaves exactly as
+        in :meth:`matching_subscriptions`: lapsed candidates are
+        retired on the spot and never counted.
+        """
+        hits: Dict[int, int] = defaultdict(int)
+        index_get = self._index.get
+        for term in page.attribute_dict.items():
+            bucket = index_get(term)
+            if bucket is not None:
+                for sid in bucket:
+                    hits[sid] += 1
+
+        required = self._required_hits
+        candidates: Set[int] = set(self._scan_list)
+        add_candidate = candidates.add
+        for sid, hit_count in hits.items():
+            # Same >= tolerance as matching_subscriptions: pages carry
+            # one value per attribute, so a membership predicate cannot
+            # over-hit in practice.
+            if hit_count >= required.get(sid, 0):
+                add_candidate(sid)
+
+        subscriptions = self._subscriptions
+        lease_until = self._lease_until if now is not None else None
+        counts: Dict[int, int] = {}
+        stale: List[int] = []
+        for sid in candidates:
+            if lease_until is not None:
+                until = lease_until.get(sid)
+                if until is not None and until <= now:
+                    stale.append(sid)
+                    continue
+            subscription = subscriptions[sid]
+            if subscription.matches(page):
+                proxy_id = subscription.proxy_id
+                counts[proxy_id] = counts.get(proxy_id, 0) + 1
+        for sid in stale:
+            self.unsubscribe(subscriptions[sid])
+        return counts
+
 
 class TraceMatchCounts:
     """Static match-count table (the paper's eq. 7 construction).
@@ -222,6 +271,10 @@ class TraceMatchCounts:
     subscriptions matching every page at every server" (§4.3); this
     class stores exactly that, keyed by page_id.
     """
+
+    #: Shared empty vector — `match_vector` returns this for unknown
+    #: pages so steady-state lookups never allocate.
+    _EMPTY_VECTOR: Tuple[Tuple[int, int], ...] = ()
 
     def __init__(self, table: Mapping[int, Mapping[int, int]]) -> None:
         self._table: Dict[int, Dict[int, int]] = {}
@@ -235,6 +288,14 @@ class TraceMatchCounts:
                 raise ValueError(f"negative match count for page {page_id}")
             if cleaned:
                 self._table[int(page_id)] = cleaned
+        # Columnar view: one immutable (proxy_id, count) vector per
+        # page, ordered by proxy_id.  Precomputed once here so the
+        # replay loop's per-publish work is a single dict probe —
+        # no dict copy, no sort, no allocation.
+        self._vectors: Dict[int, Tuple[Tuple[int, int], ...]] = {
+            page_id: tuple(sorted(per_proxy.items()))
+            for page_id, per_proxy in self._table.items()
+        }
 
     def match_counts(self, page: Page) -> Dict[int, int]:
         """Counts for ``page`` (modified versions match like originals)."""
@@ -244,9 +305,29 @@ class TraceMatchCounts:
         """Counts looked up by page_id (the trace-driven simulator's path)."""
         return dict(self._table.get(page_id, {}))
 
+    def match_vector(self, page_id: int) -> Tuple[Tuple[int, int], ...]:
+        """Precomputed ((proxy_id, count), ...) for ``page_id``.
+
+        Sorted by proxy_id, zero counts omitted, empty for unknown
+        pages.  The returned tuple is the table's own immutable record:
+        the replay hot path iterates it directly.
+        """
+        return self._vectors.get(page_id, self._EMPTY_VECTOR)
+
+    def row(self, page_id: int) -> Mapping[int, int]:
+        """The live proxy->count mapping for ``page_id`` (no copy).
+
+        Read-only by contract; use :meth:`match_counts_by_id` when a
+        mutable snapshot is needed.
+        """
+        return self._table.get(page_id, {})
+
     def count_for(self, page_id: int, proxy_id: int) -> int:
         """Convenience scalar lookup."""
-        return self._table.get(page_id, {}).get(proxy_id, 0)
+        row = self._table.get(page_id)
+        if row is None:
+            return 0
+        return row.get(proxy_id, 0)
 
     # -- serialization ---------------------------------------------------
 

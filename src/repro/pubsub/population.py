@@ -19,7 +19,7 @@ while preserving exact counts.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 import numpy as np
 
@@ -119,7 +119,14 @@ class EngineMatchCounts:
             page = make_page(
                 page_id, self._sizes.get(page_id, 1), self._categories
             )
-            counts = dict(self._engine.match_counts(page))
+            # One-pass aggregation when the engine offers it (a
+            # MatchingEngine); BrokerTree and other adapters fall back
+            # to the per-subscription match_counts path.
+            batch = getattr(self._engine, "match_count_vector", None)
+            if batch is not None:
+                counts = dict(batch(page))
+            else:
+                counts = dict(self._engine.match_counts(page))
             self._memo[page_id] = counts
         return dict(counts)
 

@@ -225,11 +225,37 @@ class Environment:
         agenda = self._agenda
         profiler = self.profiler
         monitor = self.monitor
+        iterator = iter(stream)
+        if profiler is None and monitor is None:
+            # Uninstrumented hot loop: the agenda drain is an inner
+            # loop comparing heap-head fields directly (no per-record
+            # tuple build), and the step/clock lookups are hoisted.
+            step = self.step
+            pending = next(iterator, None)
+            while pending is not None:
+                at, priority, fn, a, b = pending
+                while agenda:
+                    head = agenda[0]
+                    head_time = head[0]
+                    if head_time > at or (
+                        head_time == at and head[1] >= priority
+                    ):
+                        break
+                    step()
+                if at < self._now:
+                    raise SimulationError(
+                        f"static stream goes back in time: {at} < "
+                        f"now={self._now}"
+                    )
+                self._now = at
+                fn(a, b, at)
+                pending = next(iterator, None)
+            self.run()
+            return
         if profiler is not None:
             from time import perf_counter
 
             record = profiler.record
-        iterator = iter(stream)
         pending = next(iterator, None)
         while pending is not None:
             at, priority, fn, a, b = pending

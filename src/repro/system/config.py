@@ -69,10 +69,16 @@ class SimulationConfig:
     chaos: Optional[ChaosSpec] = None
     #: Trace replay engine: ``"fast"`` merges the static publish and
     #: request streams straight into the handlers, consulting the DES
-    #: agenda only for dynamic events; ``"agenda"`` is the legacy path
-    #: that heap-schedules every trace record.  The two are bit-identical
-    #: in every :class:`~repro.system.metrics.SimulationResult` field
-    #: except ``wall_seconds``/``profile``.
+    #: agenda only for dynamic events — and, when nothing in the
+    #: configuration can ever touch the agenda (no faults, churn or
+    #: observer), drops to a batched driver that bypasses the DES
+    #: entirely; ``"hybrid"`` forces the generic agenda-merging fast
+    #: path even when the batched driver would be eligible (used by the
+    #: perf benchmark to time the stages separately); ``"agenda"`` is
+    #: the legacy path that heap-schedules every trace record.  All
+    #: engines are bit-identical in every
+    #: :class:`~repro.system.metrics.SimulationResult` field except
+    #: ``wall_seconds``/``profile``.
     replay: str = "fast"
 
     def __post_init__(self) -> None:
@@ -93,7 +99,7 @@ class SimulationConfig:
             raise ValueError("invariant_check_interval must be >= 0")
         if self.hit_latency < 0 or self.per_hop_latency < 0:
             raise ValueError("latencies must be >= 0")
-        if self.replay not in ("fast", "agenda"):
+        if self.replay not in ("fast", "hybrid", "agenda"):
             raise ValueError(
-                f"replay must be 'fast' or 'agenda', got {self.replay!r}"
+                f"replay must be 'fast', 'hybrid' or 'agenda', got {self.replay!r}"
             )

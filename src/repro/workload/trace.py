@@ -46,7 +46,7 @@ class PageSpec:
     version_count: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PublishRecord:
     """One publish event: version ``version`` of ``page_id`` at ``time``."""
 
@@ -55,7 +55,7 @@ class PublishRecord:
     version: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestRecord:
     """One end-user request arriving at proxy ``server_id``."""
 

@@ -42,7 +42,7 @@ def test_unconditional_eviction_noop_when_room():
     cache.add(entry(1, 100), 1.0)
     result = cache.evict_for(100)
     assert result.success
-    assert result.evicted == []
+    assert list(result.evicted) == []
     assert result.last_value is None
 
 

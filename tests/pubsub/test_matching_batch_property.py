@@ -1,0 +1,120 @@
+"""Property test: the batched match vector equals the legacy path.
+
+:meth:`MatchingEngine.match_count_vector` is the replay interior's
+single-pass matcher; :meth:`MatchingEngine.match_counts` is the legacy
+per-subscription aggregation it replaced.  The two must agree as
+mappings for every page, in every engine state reachable through
+subscribe / unsubscribe / lease-expiry interleavings — including the
+lazy-expiry side effect both paths perform while matching.
+
+Both paths mutate the engine (lapsed candidates are retired on the
+spot), so each generated operation sequence is applied to *two*
+engines fed identical subscription objects, and the batched vector
+from one is compared against the legacy counts from the other.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pubsub.matching import MatchingEngine
+from repro.pubsub.pages import Page
+from repro.pubsub.subscriptions import (
+    Subscription,
+    attribute_equals,
+    attribute_range,
+    keyword_any,
+    topic_is,
+)
+
+TOPICS = ("sports", "politics", "tech")
+KEYWORDS = ("nba", "vote", "ai")
+REGIONS = ("eu", "us")
+
+#: A small closed predicate pool: indexed (topic, equality), residual
+#: (keyword, range) and mixed conjunctions all occur.
+PREDICATE_POOL = (
+    (topic_is("sports"),),
+    (topic_is("politics"),),
+    (topic_is("tech"), attribute_equals("region", "eu")),
+    (attribute_equals("region", "us"),),
+    (keyword_any({"nba", "ai"}),),
+    (topic_is("sports"), keyword_any({"nba"})),
+    (attribute_range("priority", low=5),),
+    (topic_is("politics"), attribute_range("priority", low=2, high=8)),
+    (),  # match-everything
+)
+
+pages = st.builds(
+    lambda page_id, topic, keywords, priority, region: Page(
+        page_id=page_id,
+        size=100,
+        topic=topic,
+        keywords=frozenset(keywords),
+        attributes=(("priority", priority), ("region", region)),
+    ),
+    page_id=st.integers(min_value=1, max_value=50),
+    topic=st.sampled_from(TOPICS),
+    keywords=st.sets(st.sampled_from(KEYWORDS), max_size=3),
+    priority=st.integers(min_value=0, max_value=10),
+    region=st.sampled_from(REGIONS),
+)
+
+#: One operation: ("sub", proxy, pool_index, lease_offset|None),
+#: ("unsub", created_index), ("expire",) or ("check", page).
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("sub"),
+            st.integers(min_value=0, max_value=4),
+            st.integers(min_value=0, max_value=len(PREDICATE_POOL) - 1),
+            st.one_of(st.none(), st.integers(min_value=1, max_value=20)),
+        ),
+        st.tuples(st.just("unsub"), st.integers(min_value=0, max_value=100)),
+        st.tuples(st.just("expire")),
+        st.tuples(st.just("check"), pages),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=operations, final_page=pages)
+def test_batched_vector_equals_legacy_counts(ops, final_page):
+    batched = MatchingEngine()
+    legacy = MatchingEngine()
+    created = []
+    now = 0.0
+    for op in ops:
+        now += 1.0
+        if op[0] == "sub":
+            _, proxy_id, pool_index, lease_offset = op
+            subscription = Subscription(
+                subscriber_id=len(created),
+                proxy_id=proxy_id,
+                predicates=PREDICATE_POOL[pool_index],
+            )
+            created.append(subscription)
+            lease_until = None if lease_offset is None else now + lease_offset
+            batched.subscribe(subscription, lease_until=lease_until)
+            legacy.subscribe(subscription, lease_until=lease_until)
+        elif op[0] == "unsub":
+            if created:
+                subscription = created[op[1] % len(created)]
+                batched.unsubscribe(subscription)
+                legacy.unsubscribe(subscription)
+        elif op[0] == "expire":
+            assert batched.expire_leases(now) == legacy.expire_leases(now)
+        else:
+            page = op[1]
+            assert batched.match_count_vector(page, now=now) == legacy.match_counts(
+                page, now=now
+            )
+            assert batched.subscription_count == legacy.subscription_count
+
+    # Terminal agreement, both with and without lazy expiry.
+    assert batched.match_count_vector(final_page) == legacy.match_counts(final_page)
+    assert batched.match_count_vector(final_page, now=now) == legacy.match_counts(
+        final_page, now=now
+    )
+    assert batched.subscription_count == legacy.subscription_count
