@@ -1,0 +1,192 @@
+"""Overload & backpressure benchmark: ``python benchmarks/overload_bench.py``.
+
+Sweeps the per-proxy service rate downward (so the offered load, the
+ratio of the trace's arrival rate to the service rate, climbs) for the
+paper's headline strategies and writes ``BENCH_overload.json`` with,
+per strategy and load level, the average service-queue size, the
+rejection percentage, the origin circuit-breaker open-time fraction
+and the hit ratio — the degradation curve a finite-capacity deployment
+actually rides.
+
+Every swept cell also runs the origin admission gate (token bucket +
+circuit breaker) so breaker open time and serve-stale behaviour are
+exercised at realistic pressure; a no-overload baseline per strategy
+anchors the undegraded hit ratio.  The trace, seed and capacity are
+fixed so numbers are comparable across commits.  See
+benchmarks/README.md for the output format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.faults.spec import OverloadSpec
+from repro.system.config import SimulationConfig
+from repro.system.simulator import run_simulation
+from repro.workload.presets import make_trace
+
+#: The strategies the sweep compares: the classic pull-only cache, the
+#: push-only baseline and both dual-cache hybrids.
+STRATEGIES = ("gdstar", "sub", "dc-ap", "dc-lap")
+CAPACITY = 0.05
+#: Service rates swept low-to-high pressure.  The arrival rate is fixed
+#: by the trace, so halving the service rate doubles the offered load.
+SERVICE_RATES = (0.05, 0.01, 0.005, 0.002)
+SMOKE_SERVICE_RATES = (0.05, 0.005)
+#: Three-entry queues keep rejection visible at moderate pressure.
+QUEUE_CAPACITY = 3
+#: Origin gate: a slow token bucket plus a breaker that opens after a
+#: short run of rejections and probes again after ten minutes.
+ORIGIN_CAPACITY = 0.002
+ORIGIN_BURST = 2
+BREAKER_THRESHOLD = 4
+BREAKER_COOLDOWN = 600.0
+RETRY_BUDGET = 200
+
+
+def _cell(result) -> Dict[str, object]:
+    """The per-run metrics one sweep point records."""
+    return {
+        "average_queue_size": result.average_queue_size,
+        "rejection_percentage": result.rejection_percentage,
+        "overload_arrivals": result.overload_arrivals,
+        "overload_pulls_rejected": result.overload_pulls_rejected,
+        "overload_pushes_shed": result.overload_pushes_shed,
+        "origin_rejections": result.origin_rejections,
+        "breaker_opens": result.breaker_opens,
+        "breaker_open_fraction": result.breaker_open_fraction,
+        "overload_stale_serves": result.overload_stale_serves,
+        "retries_denied": result.retries_denied,
+        "hit_ratio": result.hit_ratio,
+        "traffic_pages": result.traffic_pages,
+        "traffic_bytes": result.traffic_bytes,
+    }
+
+
+def run_benchmark(
+    scale: float, seed: int, service_rates: List[float]
+) -> Dict[str, object]:
+    """Sweep service rates and assemble the BENCH_overload.json payload."""
+    workload = make_trace("news", scale=scale, seed=seed)
+    arrival_rate = workload.request_count / (
+        workload.config.horizon * workload.config.server_count
+    )
+    payload: Dict[str, object] = {
+        "benchmark": "overload_backpressure",
+        "trace": "news",
+        "capacity": CAPACITY,
+        "scale": scale,
+        "seed": seed,
+        "requests": workload.request_count,
+        "arrival_rate_per_proxy": arrival_rate,
+        "queue_capacity": QUEUE_CAPACITY,
+        "origin_capacity": ORIGIN_CAPACITY,
+        "service_rates": list(service_rates),
+        "strategies": {},
+    }
+    for strategy in STRATEGIES:
+        baseline = run_simulation(
+            workload,
+            SimulationConfig(
+                strategy=strategy, capacity_fraction=CAPACITY, seed=seed
+            ),
+        )
+        points = []
+        for rate in service_rates:
+            spec = OverloadSpec(
+                service_rate=rate,
+                queue_capacity=QUEUE_CAPACITY,
+                origin_capacity=ORIGIN_CAPACITY,
+                origin_burst=ORIGIN_BURST,
+                breaker_threshold=BREAKER_THRESHOLD,
+                breaker_cooldown=BREAKER_COOLDOWN,
+                retry_budget=RETRY_BUDGET,
+            )
+            result = run_simulation(
+                workload,
+                SimulationConfig(
+                    strategy=strategy,
+                    capacity_fraction=CAPACITY,
+                    seed=seed,
+                    overload=spec,
+                ),
+            )
+            point: Dict[str, object] = {
+                "service_rate": rate,
+                "offered_load": arrival_rate / rate,
+            }
+            point.update(_cell(result))
+            points.append(point)
+        payload["strategies"][strategy] = {
+            "baseline": {"hit_ratio": baseline.hit_ratio},
+            "points": points,
+        }
+    return payload
+
+
+def check_monotone(payload: Dict[str, object]) -> List[str]:
+    """Rejection percentage must not fall as the offered load rises."""
+    problems = []
+    for strategy, entry in payload["strategies"].items():
+        points = sorted(entry["points"], key=lambda p: p["offered_load"])
+        rejections = [p["rejection_percentage"] for p in points]
+        if rejections != sorted(rejections):
+            problems.append(f"{strategy}: rejection % not monotone: {rejections}")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_overload.json", help="output JSON path"
+    )
+    parser.add_argument("--scale", type=float, default=0.1, help="workload scale")
+    parser.add_argument("--seed", type=int, default=7, help="root random seed")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny two-point sweep for CI (overrides --scale)",
+    )
+    args = parser.parse_args(argv)
+    scale = args.scale
+    service_rates = list(SERVICE_RATES)
+    if args.smoke:
+        scale, service_rates = 0.03, list(SMOKE_SERVICE_RATES)
+
+    payload = run_benchmark(scale, seed=args.seed, service_rates=service_rates)
+    if args.smoke:
+        # Smoke runs land in the benchmark history under their own name
+        # so they are never diffed against full-sweep runs.
+        payload["benchmark"] = "overload_backpressure_smoke"
+
+    problems = check_monotone(payload)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    print(f"wrote {args.out}  (scale={scale} seed={args.seed})")
+    header = (
+        f"  {'strategy':>8s} {'load':>7s} {'queue~':>7s} {'rej %':>7s} "
+        f"{'breaker':>8s} {'stale':>6s} {'hit %':>7s}"
+    )
+    print(header)
+    for strategy, entry in payload["strategies"].items():
+        for point in entry["points"]:
+            print(
+                f"  {strategy:>8s} {point['offered_load']:>7.2f} "
+                f"{point['average_queue_size']:>7.2f} "
+                f"{point['rejection_percentage']:>6.1f}% "
+                f"{point['breaker_open_fraction']:>8.3f} "
+                f"{point['overload_stale_serves']:>6d} "
+                f"{100 * point['hit_ratio']:>6.2f}%"
+            )
+    for problem in problems:
+        print(f"  MONOTONICITY VIOLATION {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -204,11 +204,99 @@ def _build_churn_spec(args: argparse.Namespace):
     )
 
 
+def _validate_cell_args(args: argparse.Namespace) -> None:
+    """Range-check the shared numeric cell flags.
+
+    Runs before any workload generation so a bad value produces one
+    clear line instead of a traceback from deep inside the pipeline.
+    """
+    capacity = getattr(args, "capacity", None)
+    if capacity is not None and not 0.0 < capacity <= 1.0:
+        raise ValueError(f"capacity must be in (0, 1], got {capacity}")
+    sq = getattr(args, "sq", None)
+    if sq is not None and not 0.0 < sq <= 1.0:
+        raise ValueError(f"sq must be in (0, 1], got {sq}")
+    scale = getattr(args, "scale", None)
+    if scale is not None and scale <= 0.0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+
+
+def _build_overload_spec(args: argparse.Namespace):
+    """An OverloadSpec from the run flags, or None when no flag was given.
+
+    Flags that *arm* a sub-mechanism (service rate, origin capacity,
+    retry budget) must be strictly positive when given explicitly —
+    their spec-level zero default means "disabled", which makes no
+    sense to request by hand.
+    """
+    flags = (
+        args.service_rate,
+        args.queue_capacity,
+        args.push_shed_fraction,
+        args.origin_capacity,
+        args.origin_burst,
+        args.breaker_threshold,
+        args.breaker_cooldown,
+        args.breaker_probes,
+        args.breaker_jitter,
+        args.retry_budget,
+        args.retry_budget_rate,
+        args.retry_jitter,
+    )
+    if all(value is None for value in flags):
+        return None
+    if args.service_rate is not None and args.service_rate <= 0.0:
+        raise ValueError(f"service rate must be > 0, got {args.service_rate}")
+    if args.origin_capacity is not None and args.origin_capacity <= 0.0:
+        raise ValueError(
+            f"origin capacity must be > 0, got {args.origin_capacity}"
+        )
+    if args.retry_budget is not None and args.retry_budget <= 0:
+        raise ValueError(f"retry budget must be > 0, got {args.retry_budget}")
+    from repro.faults.spec import OverloadSpec
+
+    defaults = OverloadSpec()
+
+    def pick(value, default):
+        return value if value is not None else default
+
+    return OverloadSpec(
+        service_rate=pick(args.service_rate, defaults.service_rate),
+        queue_capacity=pick(args.queue_capacity, defaults.queue_capacity),
+        push_shed_fraction=pick(
+            args.push_shed_fraction, defaults.push_shed_fraction
+        ),
+        origin_capacity=pick(args.origin_capacity, defaults.origin_capacity),
+        origin_burst=pick(args.origin_burst, defaults.origin_burst),
+        breaker_threshold=pick(args.breaker_threshold, defaults.breaker_threshold),
+        breaker_cooldown=pick(args.breaker_cooldown, defaults.breaker_cooldown),
+        breaker_probe_successes=pick(
+            args.breaker_probes, defaults.breaker_probe_successes
+        ),
+        breaker_jitter=pick(args.breaker_jitter, defaults.breaker_jitter),
+        retry_budget=pick(args.retry_budget, defaults.retry_budget),
+        retry_budget_rate=pick(
+            args.retry_budget_rate, defaults.retry_budget_rate
+        ),
+        retry_jitter=pick(args.retry_jitter, defaults.retry_jitter),
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        _validate_cell_args(args)
+    except ValueError as error:
+        print(f"invalid run parameter: {error}", file=sys.stderr)
+        return 2
     try:
         churn = _build_churn_spec(args)
     except ValueError as error:
         print(f"invalid churn parameter: {error}", file=sys.stderr)
+        return 2
+    try:
+        overload = _build_overload_spec(args)
+    except ValueError as error:
+        print(f"invalid overload parameter: {error}", file=sys.stderr)
         return 2
     observer = _make_observer(args)
     result = run_cell(
@@ -225,6 +313,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         observer=observer,
         replay=args.replay,
         churn=churn,
+        overload=overload,
     )
     print(result.summary())
     _finish_observer(observer, args)
@@ -353,6 +442,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     error = _reject_unknown_strategies(*strategies)
     if error is not None:
         return error
+    try:
+        _validate_cell_args(args)
+    except ValueError as error:
+        print(f"invalid chaos parameter: {error}", file=sys.stderr)
+        return 2
     base = DEFAULT_CHAOS
     try:
         spec = _build_chaos_spec(args, base)
@@ -583,6 +677,60 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--confirm-loss", type=float, default=None, metavar="P",
         help="per-attempt confirmation-handshake loss probability",
+    )
+    run_parser.add_argument(
+        "--service-rate", type=float, default=None, metavar="REQ_PER_S",
+        help="overload: per-proxy service rate (requests/second); any "
+             "overload flag arms the backpressure layer",
+    )
+    run_parser.add_argument(
+        "--queue-capacity", type=int, default=None, metavar="N",
+        help="overload: per-proxy service-queue capacity (slots)",
+    )
+    run_parser.add_argument(
+        "--push-shed-fraction", type=float, default=None, metavar="F",
+        help="overload: fraction of the queue pushes may fill before "
+             "being shed (pulls keep the full capacity)",
+    )
+    run_parser.add_argument(
+        "--origin-capacity", type=float, default=None, metavar="REQ_PER_S",
+        help="overload: origin admission token-bucket refill rate",
+    )
+    run_parser.add_argument(
+        "--origin-burst", type=int, default=None, metavar="N",
+        help="overload: origin token-bucket burst size",
+    )
+    run_parser.add_argument(
+        "--breaker-threshold", type=int, default=None, metavar="N",
+        help="overload: consecutive origin rejections that open the "
+             "circuit breaker",
+    )
+    run_parser.add_argument(
+        "--breaker-cooldown", type=float, default=None, metavar="SECONDS",
+        help="overload: seconds the breaker stays open before half-open "
+             "probing",
+    )
+    run_parser.add_argument(
+        "--breaker-probes", type=int, default=None, metavar="N",
+        help="overload: half-open successes required to close the breaker",
+    )
+    run_parser.add_argument(
+        "--breaker-jitter", type=float, default=None, metavar="F",
+        help="overload: relative jitter in [0, 1) on the breaker cooldown",
+    )
+    run_parser.add_argument(
+        "--retry-budget", type=int, default=None, metavar="N",
+        help="overload: global retry budget shared by origin, delivery "
+             "and handshake retries",
+    )
+    run_parser.add_argument(
+        "--retry-budget-rate", type=float, default=None, metavar="PER_S",
+        help="overload: retry-budget refill rate (tokens/second; 0 = "
+             "fixed budget)",
+    )
+    run_parser.add_argument(
+        "--retry-jitter", type=float, default=None, metavar="F",
+        help="overload: relative jitter in [0, 1) on every retry backoff",
     )
     _add_common(run_parser)
     _add_obs(run_parser, profile=True)

@@ -138,11 +138,24 @@ class Policy(ABC):
 
     @abstractmethod
     def contains(self, page_id: int) -> bool:
-        """Whether any version of ``page_id`` is currently cached."""
+        """Whether any version of ``page_id`` is currently cached.
+
+        Together with :meth:`cached_version` this is the read-only
+        introspection surface the simulator's degraded paths build on:
+        peer lookups in the cooperative extension, hit probing under
+        faults, and the overload layer's serve-stale mode (a cached
+        copy answers while the origin admission gate is closed) all
+        query the cache without mutating recency or placement state.
+        """
 
     @abstractmethod
     def cached_version(self, page_id: int) -> int:
-        """Version cached for ``page_id``; raises KeyError when absent."""
+        """Version cached for ``page_id``; raises KeyError when absent.
+
+        Must be side-effect free (see :meth:`contains`): callers use it
+        to decide *whether* to serve a stale copy before any accounted
+        ``on_request`` call happens.
+        """
 
     @property
     @abstractmethod

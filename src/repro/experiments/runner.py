@@ -27,6 +27,7 @@ from repro.experiments.artifacts import (
     cached_topology,
     cached_trace,
 )
+from repro.faults.spec import OverloadSpec
 from repro.network.topology import Topology, build_topology
 from repro.obs.log import get_logger
 from repro.obs.recorder import Observer
@@ -145,6 +146,7 @@ def run_cell(
     artifact_dir: Optional[str] = None,
     replay: str = "fast",
     churn: Optional[ChurnSpec] = None,
+    overload: Optional[OverloadSpec] = None,
 ) -> SimulationResult:
     """Run one simulation cell (trace and tables are memoized).
 
@@ -157,6 +159,11 @@ def run_cell(
     trace *after* loading: cache keys stay those of the churn-free
     parameters, and ``with_churn`` returns a fresh Workload so the
     memoized object is never mutated.
+
+    ``overload`` arms the overload/backpressure layer (finite service
+    queues, origin admission control, retry-storm protection); ``None``
+    keeps every capacity infinite, bit-identical to the pre-layer
+    behaviour.
     """
     logger.info(
         "cell %s/%s cap=%.2f sq=%.2f (scale=%s seed=%d)",
@@ -186,6 +193,7 @@ def run_cell(
         pushing=PushingScheme(key.pushing),
         seed=seed,
         notified_fraction=notified_fraction,
+        overload=overload,
         replay=replay,
     )
     simulation = Simulation(workload, config, match_table, topology, observer=observer)

@@ -28,10 +28,18 @@ from repro.faults.schedule import (
     FaultSchedule,
     Window,
 )
-from repro.faults.spec import ChaosSpec
+from repro.faults.spec import ChaosSpec, OverloadSpec
 
 #: Name of the RNG stream feeding subscription-handshake loss draws.
 LIFECYCLE_STREAM = "faults.lifecycle"
+
+#: Name of the RNG stream feeding overload-layer draws (breaker probe
+#: jitter, retry-backoff jitter).  Derived only when an
+#: :class:`OverloadSpec` actually needs randomness, so arming the
+#: overload layer never perturbs the ``faults.*``, ``workload.churn``
+#: or delivery streams — the same bit-identity discipline as
+#: :data:`LIFECYCLE_STREAM`.
+OVERLOAD_STREAM = "faults.overload"
 
 __all__ = [
     "ChaosSpec",
@@ -40,6 +48,8 @@ __all__ = [
     "FaultInjector",
     "FaultSchedule",
     "LIFECYCLE_STREAM",
+    "OVERLOAD_STREAM",
+    "OverloadSpec",
     "RecoveryReport",
     "RecoveryTracker",
     "Window",

@@ -18,13 +18,32 @@ model; windows are clipped to the simulation horizon.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.faults.schedule import DegradedWindow, FaultSchedule, Window
-from repro.faults.spec import ChaosSpec
+from repro.faults.spec import ChaosSpec, OverloadSpec
 from repro.sim.rng import RandomStreams
+
+
+def derive_overload_rng(
+    spec: Optional[OverloadSpec], streams: RandomStreams
+) -> Optional[np.random.Generator]:
+    """Derive the ``faults.overload`` stream, but only when needed.
+
+    Service queues, the token bucket and the retry budget are fully
+    deterministic; only breaker-probe jitter and retry-backoff jitter
+    consume randomness.  Returning ``None`` for jitter-free specs keeps
+    the stream un-derived, so arming the overload layer cannot perturb
+    any other stream (the same discipline as the fault-kind streams
+    above).
+    """
+    if spec is None or not spec.uses_rng:
+        return None
+    from repro.faults import OVERLOAD_STREAM
+
+    return streams.stream(OVERLOAD_STREAM)
 
 
 def _alternating_windows(

@@ -199,3 +199,109 @@ class ChaosSpec:
             raise ValueError(
                 f"recovery_bin_count must be >= 1, got {self.recovery_bin_count}"
             )
+
+
+@dataclass(frozen=True)
+class OverloadSpec:
+    """Parameters of the overload/backpressure layer for one run.
+
+    Like :class:`ChaosSpec` this is a plain frozen dataclass so grids
+    can sweep it, and every default describes *infinite* capacity: a
+    default-built spec engages nothing and a run carrying it is
+    bit-identical to one without the layer.
+
+    The layer has three independent parts, each armed by its own knob:
+
+    * finite per-proxy service queues (``service_rate > 0``),
+    * origin admission control with a circuit breaker
+      (``origin_capacity > 0``),
+    * a global retry budget with seeded jitter (``retry_budget > 0``
+      and/or ``retry_jitter > 0``).
+    """
+
+    #: Jobs (pushes + pull requests) one proxy can service per second;
+    #: 0 models the paper's infinitely fast proxies (queues disabled).
+    service_rate: float = 0.0
+    #: Maximum jobs in one proxy's service queue (in service + waiting).
+    #: Arrivals beyond it are rejected.
+    queue_capacity: int = 64
+    #: Occupancy fraction of ``queue_capacity`` above which *pushes*
+    #: are shed while pulls are still admitted — subscribed-push
+    #: deliveries yield queue room to subscriber pull requests first
+    #: (the paper's subscriber-first service model).
+    push_shed_fraction: float = 0.75
+
+    # -- origin admission control -------------------------------------------
+
+    #: Origin fetches admitted per second through the token-bucket gate;
+    #: 0 models an infinite-capacity origin (admission disabled).
+    origin_capacity: float = 0.0
+    #: Token-bucket burst size (tokens the idle origin accumulates).
+    origin_burst: int = 32
+    #: Consecutive origin rejections that trip the circuit breaker open.
+    breaker_threshold: int = 8
+    #: Seconds the open breaker waits before half-opening for probes.
+    breaker_cooldown: float = 30.0
+    #: Probe successes in half-open state required to close the breaker.
+    breaker_probe_successes: int = 3
+    #: Fraction of ``breaker_cooldown`` added as seeded jitter to each
+    #: open interval (draws from the ``faults.overload`` stream), so
+    #: breakers across runs/sweeps don't half-open in lockstep.
+    breaker_jitter: float = 0.0
+
+    # -- retry-storm protection ---------------------------------------------
+
+    #: Global budget of *extra* (beyond-first) attempts shared by every
+    #: retry user — origin backoff, delivery retransmits, handshake
+    #: confirms; 0 leaves retries unbudgeted (the pre-layer behaviour).
+    retry_budget: int = 0
+    #: Budget tokens restored per second (0 = a fixed, non-refilling
+    #: budget for the whole run).
+    retry_budget_rate: float = 0.0
+    #: Max fraction of each backoff step added as seeded jitter (drawn
+    #: from the ``faults.overload`` stream) to de-synchronise retries.
+    retry_jitter: float = 0.0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this spec engages any part of the layer."""
+        return (
+            self.service_rate > 0.0
+            or self.origin_capacity > 0.0
+            or self.retry_budget > 0
+            or self.retry_jitter > 0.0
+        )
+
+    @property
+    def uses_rng(self) -> bool:
+        """Whether the layer draws from the ``faults.overload`` stream."""
+        return self.retry_jitter > 0.0 or (
+            self.origin_capacity > 0.0 and self.breaker_jitter > 0.0
+        )
+
+    def __post_init__(self) -> None:
+        for name in (
+            "service_rate",
+            "origin_capacity",
+            "breaker_cooldown",
+            "retry_budget_rate",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        for name in ("queue_capacity", "origin_burst"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+        for name in ("breaker_threshold", "breaker_probe_successes"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+        if self.retry_budget < 0:
+            raise ValueError(f"retry_budget must be >= 0, got {self.retry_budget}")
+        if not 0.0 < self.push_shed_fraction <= 1.0:
+            raise ValueError(
+                f"push_shed_fraction must be in (0, 1], got {self.push_shed_fraction}"
+            )
+        for name in ("breaker_jitter", "retry_jitter"):
+            if not 0.0 <= getattr(self, name) < 1.0:
+                raise ValueError(
+                    f"{name} must be in [0, 1), got {getattr(self, name)}"
+                )

@@ -27,6 +27,20 @@ _TIMELINE_TYPES = frozenset(
         "delivery_lost",
         "delivery_retransmit",
         "repair",
+        "overload_stale",
+        "retry_denied",
+    }
+)
+
+#: Overload/backpressure event types aggregated per proxy.  The
+#: high-volume shed/reject events stay out of the timeline and are
+#: summarised here instead.
+_OVERLOAD_TYPES = frozenset(
+    {
+        "overload_shed",
+        "overload_reject",
+        "overload_stale",
+        "retry_denied",
     }
 )
 
@@ -78,6 +92,8 @@ class TraceSummary:
     lifecycle_by_proxy: Dict[int, Counter] = field(default_factory=dict)
     #: (proxy, page) -> lifecycle event count (the churning subscribers).
     churning_subscribers: Counter = field(default_factory=Counter)
+    #: proxy -> Counter of overload event types at that proxy.
+    overload_by_proxy: Dict[int, Counter] = field(default_factory=dict)
 
     def as_dict(self, top: int = 10, timeline_limit: int = 20) -> Dict[str, object]:
         """A JSON-serialisable view of the summary (``inspect --json``).
@@ -108,6 +124,10 @@ class TraceSummary:
             "churning_subscribers": [
                 {"proxy": proxy, "page": page, "events": count}
                 for (proxy, page), count in self.churning_subscribers.most_common(top)
+            ],
+            "overload_by_proxy": [
+                {"proxy": proxy, "events": dict(detail)}
+                for proxy, detail in sorted(self.overload_by_proxy.items())
             ],
             "timeline": self.timeline[:timeline_limit],
             "timeline_total": len(self.timeline),
@@ -162,6 +182,20 @@ class TraceSummary:
             for (proxy, page), count in self.churning_subscribers.most_common(top):
                 lines.append(
                     f"  proxy {proxy:<6d} page {page:<8d} lifecycle events={count}"
+                )
+        if self.overload_by_proxy:
+            lines.append("")
+            lines.append("overload & backpressure by proxy (top by events):")
+            ranked = sorted(
+                self.overload_by_proxy.items(),
+                key=lambda item: (-sum(item[1].values()), item[0]),
+            )
+            for proxy, detail in ranked[:top]:
+                lines.append(
+                    f"  proxy {proxy:<6d} sheds={detail.get('overload_shed', 0):<5d} "
+                    f"rejects={detail.get('overload_reject', 0):<5d} "
+                    f"stale_served={detail.get('overload_stale', 0):<5d} "
+                    f"retries_denied={detail.get('retry_denied', 0)}"
                 )
         if self.timeline:
             lines.append("")
@@ -220,6 +254,10 @@ def summarize_trace(path: str) -> TraceSummary:
                 summary.lifecycle_by_proxy.setdefault(proxy, Counter())[etype] += 1
                 if page is not None:
                     summary.churning_subscribers[(proxy, page)] += 1
+        if etype in _OVERLOAD_TYPES:
+            proxy = event.get("proxy")
+            if proxy is not None:
+                summary.overload_by_proxy.setdefault(proxy, Counter())[etype] += 1
         if etype in _TIMELINE_TYPES:
             summary.timeline.append(event)
     if t_min is not None:

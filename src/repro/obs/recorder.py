@@ -112,6 +112,20 @@ class Observer:
             self._c_repoll = c(
                 "repro_repolls_total", "access-time lease re-poll repairs"
             )
+            self._c_ov_shed = c(
+                "repro_overload_sheds_total", "pushes shed at full service queues"
+            )
+            self._c_ov_reject = c(
+                "repro_overload_rejections_total",
+                "pulls rejected at full service queues",
+            )
+            self._c_ov_stale = c(
+                "repro_overload_stale_served_total",
+                "stale copies served while the origin gate refused fetches",
+            )
+            self._c_retry_denied = c(
+                "repro_retries_denied_total", "retries refused by the retry budget"
+            )
             self._c_evict = c("repro_evictions_total", "cache evictions")
             self._c_evict_bytes = c("repro_evicted_bytes_total", "bytes evicted")
             self._c_crash = c("repro_proxy_crashes_total", "proxy crash events")
@@ -448,6 +462,53 @@ class Observer:
             self.timeseries.inc(t, "repolls")
         if self.tracer is not None:
             self.tracer.emit("repoll", t, page=page, proxy=proxy, reason=reason)
+
+    # -- overload & backpressure -------------------------------------------------
+
+    def overload_shed(self, t: float, page: int, proxy: int, kind: str) -> None:
+        """A push was shed at ``proxy``'s full service queue.
+
+        ``kind`` names the shed work class (currently always
+        ``"push"`` — subscribed-push deliveries shed first under the
+        priority order).  The dropped copy is healed later by
+        access-time staleness repair.
+        """
+        if self.registry is not None:
+            self._c_ov_shed.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "overload_sheds")
+        if self.tracer is not None:
+            self.tracer.emit("overload_shed", t, page=page, proxy=proxy, kind=kind)
+
+    def overload_reject(self, t: float, page: int, proxy: int) -> None:
+        """A pull was rejected at ``proxy``'s full service queue."""
+        if self.registry is not None:
+            self._c_ov_reject.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "overload_rejections")
+        if self.tracer is not None:
+            self.tracer.emit("overload_reject", t, page=page, proxy=proxy)
+
+    def overload_stale(self, t: float, page: int, proxy: int) -> None:
+        """Degraded mode served a cached stale copy: the origin gate
+        (token bucket + circuit breaker) refused the fetch."""
+        if self.registry is not None:
+            self._c_ov_stale.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "overload_stale_served")
+        if self.tracer is not None:
+            self.tracer.emit("overload_stale", t, page=page, proxy=proxy)
+
+    def retry_denied(self, t: float, page: int, proxy: int, attempt: int) -> None:
+        """The global retry budget refused retry ``attempt``."""
+        if self.registry is not None:
+            self._c_retry_denied.inc()
+        if self.timeseries is not None:
+            self.timeseries.inc(t, "retries_denied")
+        if self.tracer is not None:
+            self.tracer.emit(
+                "retry_denied", t, page=page, proxy=proxy, attempt=attempt
+            )
 
     # -- queue telemetry ---------------------------------------------------------
 

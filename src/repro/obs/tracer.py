@@ -59,6 +59,11 @@ EVENT_TYPES = frozenset(
         "lease_expired",
         "handshake_lost",
         "repoll",
+        # overload & backpressure
+        "overload_shed",
+        "overload_reject",
+        "overload_stale",
+        "retry_denied",
         # cache churn
         "evict",
         # component faults

@@ -11,7 +11,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-from repro.faults.spec import ChaosSpec
+from repro.faults.spec import ChaosSpec, OverloadSpec
 
 
 class PushingScheme(enum.Enum):
@@ -67,6 +67,12 @@ class SimulationConfig:
     #: whose rates are all zero yields an empty schedule, whose metrics
     #: are bit-identical to a run without the layer.
     chaos: Optional[ChaosSpec] = None
+    #: Overload/backpressure parameters.  ``None`` (the default) keeps
+    #: proxy and origin capacity infinite, as the paper assumes; a
+    #: :class:`~repro.faults.spec.OverloadSpec` with every knob at its
+    #: default is equally inert (``enabled`` is false) and bit-identical
+    #: to a run without the layer.
+    overload: Optional[OverloadSpec] = None
     #: Trace replay engine: ``"fast"`` merges the static publish and
     #: request streams straight into the handlers, consulting the DES
     #: agenda only for dynamic events — and, when nothing in the

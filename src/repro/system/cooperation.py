@@ -102,9 +102,11 @@ class CooperativeSimulation(Simulation):
         return None
 
     def _handle_request(self, server_id: int, page_id: int, now: float) -> None:
-        if self._faults_on:
-            # The base class routes through the degraded path, which
-            # resolves misses via our ``_fetch_on_miss`` failover chain.
+        if self._faults_on or self._overload_on:
+            # The base class routes through the degraded/overload path,
+            # which resolves misses via our ``_fetch_on_miss`` failover
+            # chain (and queue-rejected pulls via
+            # ``_rejected_pull_resolution`` below).
             super()._handle_request(server_id, page_id, now)
             return
         version = self.publisher.current_version(page_id)
@@ -206,6 +208,19 @@ class CooperativeSimulation(Simulation):
             return None
         extra_latency, degraded = resolution
         return waited + extra_latency, degraded or timed_out > 0
+
+    def _rejected_pull_resolution(
+        self, proxy: ProxyServer, server_id: int, page_id: int, now: float
+    ) -> Optional[Tuple[float, bool]]:
+        """Queue-rejected pulls fail over down the peer chain too.
+
+        The rejected client retries off-proxy exactly like a miss: the
+        nearest live holder of the current version answers, and only an
+        exhausted chain falls through to the origin admission gate.
+        """
+        version = self.publisher.current_version(page_id)
+        size = self.publisher.page_size(page_id)
+        return self._fetch_on_miss(proxy, server_id, page_id, version, size, now)
 
     def _attach_observer(self) -> None:
         super()._attach_observer()

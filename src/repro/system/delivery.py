@@ -121,10 +121,16 @@ class ReliableDelivery:
         spec: ChaosSpec,
         schedule: FaultSchedule,
         rng: np.random.Generator,
+        overload=None,
     ) -> None:
         self.spec = spec
         self.schedule = schedule
         self._rng = rng
+        #: Optional OverloadManager: retransmissions then consume the
+        #: global retry budget and backoff steps carry seeded jitter.
+        #: ``None`` (the default) keeps the protocol byte-identical to
+        #: the pre-overload behaviour.
+        self._overload = overload
         #: Resolution times of notifications still occupying a
         #: retransmit-queue slot.
         self._pending: List[float] = []
@@ -157,6 +163,7 @@ class ReliableDelivery:
             heapq.heappop(self._pending)
 
         broker_id = server_id % spec.broker_count
+        overload = self._overload
         at = now
         loss_events = 0
         attempts = 0
@@ -180,9 +187,21 @@ class ReliableDelivery:
                         queue_overflow=True,
                         duplicate_time=None,
                     )
-            at += capped_backoff(
+            if (
+                overload is not None
+                and attempt < spec.delivery_retry_limit
+                and not overload.allow_retry(at)
+            ):
+                # Retry-storm protection: the global budget refused the
+                # next retransmission, so the loss becomes permanent
+                # (healed later by access-time staleness repair).
+                break
+            backoff = capped_backoff(
                 spec.delivery_ack_timeout, spec.delivery_backoff_cap, attempt
             )
+            if overload is not None:
+                backoff = overload.jitter_backoff(backoff)
+            at += backoff
 
         queued = loss_events > 0 and spec.delivery_retry_limit > 0
         if not delivered:

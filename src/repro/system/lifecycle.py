@@ -139,9 +139,15 @@ class LifecycleManager:
         rng: Optional[np.random.Generator] = None,
         observer: Optional[Observer] = None,
         obs_on: bool = False,
+        overload=None,
     ) -> None:
         self.spec = spec
         self._rng = rng
+        #: Optional OverloadManager: confirmation retries then consume
+        #: the global retry budget and backoff steps carry seeded
+        #: jitter.  ``None`` keeps the handshake timeline byte-identical
+        #: to the pre-overload behaviour.
+        self._overload = overload
         self.obs = observer if observer is not None else NULL_OBSERVER
         self._obs_on = obs_on and self.obs.enabled
         self._leases: Dict[Tuple[int, int], _Lease] = {}
@@ -188,6 +194,7 @@ class LifecycleManager:
             return now
         queue = self._queues[server_id]
         queue.drain(now)
+        overload = self._overload
         at = now
         losses = 0
         confirmed = False
@@ -203,9 +210,24 @@ class LifecycleManager:
                 self.handshake_losses += losses
                 self.handshakes_abandoned += 1
                 return NEVER
-            at += capped_backoff(
+            if (
+                overload is not None
+                and attempt < spec.confirm_retry_limit
+                and not overload.allow_retry(at)
+            ):
+                # Retry-storm protection: the global budget refused the
+                # next confirmation attempt; the lease stays PENDING
+                # until an access-time re-poll repairs it.
+                queue.failures += losses
+                self.handshake_losses += losses
+                self.handshakes_abandoned += 1
+                return NEVER
+            backoff = capped_backoff(
                 spec.confirm_timeout, spec.confirm_backoff_cap, attempt
             )
+            if overload is not None:
+                backoff = overload.jitter_backoff(backoff)
+            at += backoff
         queue.failures += losses
         self.handshake_losses += losses
         if losses and spec.confirm_retry_limit > 0:

@@ -197,6 +197,42 @@ class SimulationResult:
     renewal_latency_bin_edges: List[float] = field(default_factory=list)
     renewal_latency_counts: List[int] = field(default_factory=list)
 
+    # -- overload metrics (all zero with the layer off) --------------------
+
+    #: Jobs (pushes + pulls) offered to the per-proxy service queues.
+    overload_arrivals: int = 0
+    #: Pushes shed because the target queue crossed the push threshold
+    #: (pushes yield queue room to subscriber pulls first).
+    overload_pushes_shed: int = 0
+    #: Pull requests rejected at a full service queue (failed over to
+    #: the cooperation chain or the origin).
+    overload_pulls_rejected: int = 0
+    #: Fleet-wide mean queue occupancy seen by an arrival
+    #: (icarus ``AVERAGE_QUEUE_SIZE`` semantics).
+    average_queue_size: float = 0.0
+    #: Highest occupancy any service queue reached.
+    overload_queue_peak: int = 0
+    #: Per-proxy mean occupancy / rejection percentage, indexed by
+    #: server id (icarus ``PERCENTAGE_OF_REJECTION`` per node).
+    overload_queue_avg_by_proxy: List[float] = field(default_factory=list)
+    overload_queue_rejection_by_proxy: List[float] = field(default_factory=list)
+    #: Origin fetches refused by the admission gate (token bucket
+    #: drained) or fast-failed by the open circuit breaker.
+    origin_rejections: int = 0
+    #: Circuit-breaker open transitions, cumulative open time, and the
+    #: open fraction of the whole horizon.
+    breaker_opens: int = 0
+    breaker_open_seconds: float = 0.0
+    breaker_open_fraction: float = 0.0
+    #: Requests fast-failed while the breaker was open.
+    breaker_fast_failures: int = 0
+    #: Extra attempts granted by / refused by the global retry budget.
+    retry_budget_spent: int = 0
+    retries_denied: int = 0
+    #: Requests answered with a cached stale copy because origin
+    #: admission refused the fetch (serve-stale degraded mode).
+    overload_stale_serves: int = 0
+
     @property
     def hit_ratio(self) -> float:
         """Global H (eq. 8), in [0, 1]."""
@@ -291,6 +327,14 @@ class SimulationResult:
             return 1.0
         return min(1.0, (self.lease_repolls + self.handshake_repairs) / broken)
 
+    @property
+    def rejection_percentage(self) -> float:
+        """Percentage of queue arrivals rejected (pushes + pulls)."""
+        if self.overload_arrivals == 0:
+            return 0.0
+        rejected = self.overload_pushes_shed + self.overload_pulls_rejected
+        return 100.0 * rejected / self.overload_arrivals
+
     def hourly_hit_ratio(self) -> List[float]:
         """H per hour (Fig. 6); hours without requests yield 0.0."""
         ratios = []
@@ -343,5 +387,13 @@ class SimulationResult:
                 f"/{self.leases_expired}x "
                 f"repolls={self.lease_repolls + self.handshake_repairs} "
                 f"suppressed={self.pushes_suppressed_no_lease}"
+            )
+        if self.overload_arrivals or self.origin_rejections or self.retries_denied:
+            text += (
+                f" | queue~{self.average_queue_size:.2f} "
+                f"rej={self.rejection_percentage:.1f}% "
+                f"origin_rej={self.origin_rejections} "
+                f"breaker={self.breaker_opens}x/{self.breaker_open_seconds:.0f}s "
+                f"retry_denied={self.retries_denied}"
             )
         return text

@@ -56,11 +56,11 @@ from operator import itemgetter
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.registry import make_policy_lenient
-from repro.faults.generator import generate_fault_schedule
+from repro.faults.generator import derive_overload_rng, generate_fault_schedule
 from repro.faults.injector import FaultInjector
 from repro.faults.recovery import RecoveryTracker
 from repro.faults.schedule import FaultSchedule
-from repro.faults.spec import ChaosSpec
+from repro.faults.spec import ChaosSpec, OverloadSpec
 from repro.network.topology import Topology, build_topology
 from repro.obs.log import get_logger
 from repro.obs.recorder import NULL_OBSERVER, Observer
@@ -80,6 +80,7 @@ from repro.system.lifecycle import (
     LifecycleManager,
 )
 from repro.system.metrics import SimulationResult, dense_clamped
+from repro.system.overload import OverloadManager
 from repro.system.proxy import ProxyServer
 from repro.system.publisher import Publisher
 from repro.workload.churn import LifecycleRecord
@@ -264,6 +265,28 @@ class Simulation:
         self._unserved_by_hour: Dict[int, int] = {}
         self._pushes_suppressed = 0
 
+        # -- overload/backpressure layer -------------------------------------
+        # Engaged only when an OverloadSpec arms at least one part; a
+        # missing or all-default spec allocates nothing here and never
+        # derives the "faults.overload" stream, so the publish/request
+        # paths behave — and draw — exactly as before (bit identity).
+        overload_spec: Optional[OverloadSpec] = config.overload
+        self._overload_on = overload_spec is not None and overload_spec.enabled
+        self._overload: Optional[OverloadManager] = None
+        self._overload_stale_serves = 0
+        if self._overload_on:
+            self._overload = OverloadManager(
+                overload_spec,
+                range(workload.config.server_count),
+                rng=derive_overload_rng(overload_spec, streams),
+            )
+            if self.chaos is None:
+                # Origin-gate retries reuse the graceful-degradation
+                # backoff parameters (retry_limit/base/cap); without a
+                # chaos spec the defaults apply.  _faults_on stays
+                # False: no schedule, no injector, no fault metrics.
+                self.chaos = ChaosSpec()
+
         # -- reliable-delivery layer ---------------------------------------
         # Engaged only when the push path itself can fail; with every
         # delivery knob at its default this block allocates nothing and
@@ -280,6 +303,7 @@ class Simulation:
                 self.chaos,
                 self.fault_schedule,
                 streams.stream("faults.delivery"),
+                overload=self._overload,
             )
             self._seq_trackers = [SequenceTracker() for _ in self.proxies]
         self._env: Optional[Environment] = None
@@ -318,6 +342,7 @@ class Simulation:
                 rng=lifecycle_rng,
                 observer=self.obs,
                 obs_on=self._obs_on,
+                overload=self._overload,
             )
 
     # -- fault hooks (called by the FaultInjector) --------------------------
@@ -408,6 +433,17 @@ class Simulation:
                 self._send_notification(
                     server_id, page_id, version, size, match_count, now
                 )
+                continue
+            if self._overload_on and not self._overload.admit(
+                server_id, now, push=True
+            ):
+                # The proxy's service queue is saturated: the push is
+                # shed (pushes yield queue room to pulls first).  The
+                # cache simply keeps its old copy; the next request for
+                # the page takes the ordinary stale-miss path, so no
+                # extra repair machinery is needed here.
+                if obs_on:
+                    self.obs.overload_shed(now, page_id, server_id, "push")
                 continue
             if obs_on:
                 self.obs.push_offer(now, page_id, server_id)
@@ -526,6 +562,13 @@ class Simulation:
             if obs_on:
                 self.obs.delivery_lost(t, page_id, server_id, "proxy-down")
             return
+        if self._overload_on and not self._overload.admit(server_id, t, push=True):
+            # Shed before the sequence tracker sees the copy: the proxy
+            # never learns this version arrived, so the existing lazy
+            # staleness-repair path heals it on the next access.
+            if obs_on:
+                self.obs.overload_shed(t, page_id, server_id, "push")
+            return
         tracker = self._seq_trackers[server_id]
         kind = tracker.observe(page_id, version)
         if kind == "duplicate":
@@ -572,6 +615,10 @@ class Simulation:
             self._lifecycle_access(server_id, page_id, version, now)
         if self._faults_on:
             self._handle_request_faulty(
+                proxy, server_id, page_id, version, size, match_count, now
+            )
+        elif self._overload_on:
+            self._handle_request_overload(
                 proxy, server_id, page_id, version, size, match_count, now
             )
         else:
@@ -652,6 +699,12 @@ class Simulation:
                 self.obs.request_outcome(now, page_id, server_id, "miss", latency)
             return
 
+        if self._overload_on and not self._overload.admit(
+            server_id, now, push=False
+        ):
+            self._handle_rejected_pull(proxy, server_id, page_id, now)
+            return
+
         if self._delivery_on and self._silently_stale_path(
             proxy, server_id, page_id, version, size, match_count, now
         ):
@@ -673,6 +726,17 @@ class Simulation:
         # Local miss: content must come from somewhere off-proxy.
         resolution = self._fetch_on_miss(proxy, server_id, page_id, version, size, now)
         if resolution is None:
+            if (
+                self._overload_on
+                and self._overload.bucket is not None
+                and self._serve_stale_overload(
+                    proxy, server_id, page_id, size, match_count, now, 0.0
+                )
+            ):
+                # Origin admission refused the fetch (breaker open or
+                # bucket drained): degraded mode serves the cached
+                # stale copy rather than failing the request.
+                return
             # Retries exhausted: the request fails; nothing was placed
             # (the bytes never arrived at the proxy).
             self._note_unserved(now)
@@ -798,6 +862,134 @@ class Simulation:
             self.obs.stale_served(now, page_id, server_id, age)
             self.obs.request_outcome(now, page_id, server_id, "hit", latency)
 
+    # -- overload request handling -------------------------------------------
+
+    def _handle_request_overload(
+        self,
+        proxy: ProxyServer,
+        server_id: int,
+        page_id: int,
+        version: int,
+        size: int,
+        match_count: int,
+        now: float,
+    ) -> None:
+        """The fault-free request path under finite capacity.
+
+        Mirrors the plain path of :meth:`_handle_request` with two
+        admission gates in front: the proxy's service queue (rejected
+        pulls fail over off-proxy) and — on a miss — the origin gate
+        (refused fetches degrade to serving a cached stale copy, or
+        fail when nothing is cached).
+        """
+        obs_on = self._obs_on
+        if not self._overload.admit(server_id, now, push=False):
+            self._handle_rejected_pull(proxy, server_id, page_id, now)
+            return
+        if self._probe_hit(proxy, page_id, version):
+            proxy.handle_request(page_id, version, size, match_count, now)
+            self._total_response_time += self.config.hit_latency
+            if obs_on:
+                self.obs.request_outcome(
+                    now, page_id, server_id, "hit", self.config.hit_latency
+                )
+            return
+        resolution = self._fetch_on_miss(proxy, server_id, page_id, version, size, now)
+        if resolution is None:
+            if self._serve_stale_overload(
+                proxy, server_id, page_id, size, match_count, now, 0.0
+            ):
+                return
+            self._note_unserved(now)
+            self._note_failed(now)
+            if obs_on:
+                self.obs.failed(now, page_id, server_id)
+            return
+        extra_latency, degraded = resolution
+        outcome = proxy.handle_request(page_id, version, size, match_count, now)
+        if degraded:
+            self._note_degraded(now)
+        latency = self.config.hit_latency + extra_latency
+        self._total_response_time += latency
+        if obs_on:
+            self.obs.request_outcome(
+                now, page_id, server_id, _outcome_kind(outcome), latency
+            )
+
+    def _handle_rejected_pull(
+        self, proxy: ProxyServer, server_id: int, page_id: int, now: float
+    ) -> None:
+        """A pull the proxy's service queue refused to admit.
+
+        The request never reaches the policy (it is tallied as
+        unserved, keeping the shared denominator) and fails over
+        off-proxy: the base simulation goes straight to the origin
+        through the admission gate, the cooperative subclass walks the
+        peer chain first.
+        """
+        obs_on = self._obs_on
+        self._note_unserved(now)
+        if obs_on:
+            self.obs.overload_reject(now, page_id, server_id)
+            self.obs.failover(
+                now, server_id, page_id, target="origin", reason="overload"
+            )
+        resolution = self._rejected_pull_resolution(proxy, server_id, page_id, now)
+        if resolution is None:
+            self._note_failed(now)
+            if obs_on:
+                self.obs.failed(now, page_id, server_id)
+            return
+        extra_latency, _degraded = resolution
+        self._note_degraded(now)
+        latency = self.config.hit_latency + extra_latency
+        self._total_response_time += latency
+        if obs_on:
+            self.obs.request_outcome(now, page_id, server_id, "miss", latency)
+
+    def _rejected_pull_resolution(
+        self, proxy: ProxyServer, server_id: int, page_id: int, now: float
+    ) -> Optional[Tuple[float, bool]]:
+        """Off-proxy resolution of a queue-rejected pull.
+
+        The base simulation knows only the origin; the cooperative
+        subclass overrides this with its peer failover chain.
+        """
+        return self._origin_resolution(proxy, server_id, page_id, now)
+
+    def _serve_stale_overload(
+        self,
+        proxy: ProxyServer,
+        server_id: int,
+        page_id: int,
+        size: int,
+        match_count: int,
+        now: float,
+        waited: float,
+    ) -> bool:
+        """Degraded mode: serve whatever version is cached locally.
+
+        Used when origin admission refused a fetch.  Returns False when
+        nothing is cached (the caller then fails the request).  The
+        policy records a plain hit for the cached version; the
+        simulator's books call it a degraded overload-stale serve.
+        """
+        policy = proxy.policy
+        if not policy.contains(page_id):
+            return False
+        cached = policy.cached_version(page_id)
+        proxy.handle_request(page_id, cached, size, match_count, now)
+        if self._recovery is not None:
+            self._recovery.on_request(server_id, hit=True, now=now)
+        self._overload_stale_serves += 1
+        self._note_degraded(now)
+        latency = self.config.hit_latency + waited
+        self._total_response_time += latency
+        if self._obs_on:
+            self.obs.overload_stale(now, page_id, server_id)
+            self.obs.request_outcome(now, page_id, server_id, "hit", latency)
+        return True
+
     def _sample_staleness_age(self, age: float) -> None:
         self._staleness_age_counts[staleness_age_bin(age)] += 1
 
@@ -850,20 +1042,38 @@ class Simulation:
         backoff up to ``retry_cap``, at most ``retry_limit`` retries.
         Whether a retry succeeds is a pure schedule lookup — the outage
         windows are materialised up front.
+
+        With the overload layer armed the origin must also *admit* the
+        fetch (token bucket + circuit breaker), each extra attempt must
+        fit the global retry budget, and backoff steps carry the seeded
+        jitter — so synchronized retries cannot re-overload a
+        recovering origin.  With overload off the loop is exactly the
+        pre-layer one.
         """
-        if not self.fault_schedule.publisher_down(now):
+        schedule = self.fault_schedule
+        overload = self._overload if self._overload_on else None
+        down = schedule is not None and schedule.publisher_down(now)
+        if not down and (overload is None or overload.origin_admit(now)):
             return True, 0.0
         spec = self.chaos
         obs_on = self._obs_on
         waited = 0.0
         at = now
         for attempt in range(spec.retry_limit):
+            if overload is not None and not overload.allow_retry(at):
+                if obs_on:
+                    self.obs.retry_denied(now, page_id, server_id, attempt + 1)
+                break
             backoff = min(spec.retry_base * (2.0 ** attempt), spec.retry_cap)
+            if overload is not None:
+                backoff = overload.jitter_backoff(backoff)
             at += backoff
             waited += backoff
             if obs_on:
                 self.obs.retry(now, page_id, server_id, attempt + 1, backoff)
-            if not self.fault_schedule.publisher_down(at):
+            if (schedule is None or not schedule.publisher_down(at)) and (
+                overload is None or overload.origin_admit(at)
+            ):
                 return True, waited
         return False, waited
 
@@ -878,6 +1088,9 @@ class Simulation:
         self, latency: float, server_id: int, now: float
     ) -> Tuple[float, bool]:
         """Apply the proxy's link degradation (if any) to one transfer."""
+        if self.fault_schedule is None:
+            # Overload-only run: no degraded-link windows exist.
+            return latency, False
         window = self.fault_schedule.degradation(server_id, now)
         if window is None:
             return latency, False
@@ -1033,13 +1246,15 @@ class Simulation:
         the agenda or hook into the handlers: no fault schedule (no
         injector processes, no delayed deliveries), no lifecycle
         records, no observer (no obs calls, no instrumented methods),
-        and no subclass overriding the request path (the cooperative
+        no overload layer (admission gates reroute both paths), and no
+        subclass overriding the request path (the cooperative
         simulation reroutes misses through peers).
         """
         return (
             not self._faults_on
             and not self._churn_on
             and not self._obs_on
+            and not self._overload_on
             and type(self) is Simulation
         )
 
@@ -1351,12 +1566,15 @@ class Simulation:
             wall_seconds=wall_seconds,
             total_response_time=self._total_response_time,
         )
-        if self._faults_on:
-            report = self._recovery.report()
+        if self._faults_on or self._overload_on:
+            # Both layers route refused/unservable requests through the
+            # shared failed/degraded books.
             result.failed_requests = self._failed_requests
             result.degraded_requests = self._degraded_requests
             result.hourly_failed = dense(self._failed_by_hour)
             result.hourly_degraded = dense(self._degraded_by_hour)
+        if self._faults_on:
+            report = self._recovery.report()
             result.proxy_crashes = sum(p.crash_count for p in self.proxies)
             result.proxy_downtime_seconds = sum(
                 p.downtime_seconds for p in self.proxies
@@ -1389,6 +1607,41 @@ class Simulation:
             result.hourly_repair_bytes = dense(self.publisher.repair_bytes_by_hour)
             result.staleness_age_bin_edges = list(STALENESS_AGE_BIN_EDGES)
             result.staleness_age_counts = list(self._staleness_age_counts)
+        if self._overload_on:
+            overload = self._overload
+            horizon = self.workload.config.horizon
+            overload.finalize(horizon)
+            result.overload_arrivals = overload.queue_arrivals
+            result.overload_pushes_shed = overload.queue_rejected_pushes
+            result.overload_pulls_rejected = overload.queue_rejected_pulls
+            result.average_queue_size = overload.average_queue_size
+            queues = overload.queues
+            if queues:
+                result.overload_queue_peak = max(
+                    queue.peak for queue in queues.values()
+                )
+                result.overload_queue_avg_by_proxy = [
+                    queues[server_id].average_queue_size
+                    for server_id in range(len(self.proxies))
+                ]
+                result.overload_queue_rejection_by_proxy = [
+                    100.0 * queues[server_id].rejection_fraction
+                    for server_id in range(len(self.proxies))
+                ]
+            result.origin_rejections = overload.origin_rejections
+            breaker = overload.breaker
+            if breaker is not None:
+                result.breaker_opens = breaker.open_count
+                result.breaker_open_seconds = breaker.open_seconds
+                result.breaker_open_fraction = (
+                    breaker.open_seconds / horizon if horizon > 0 else 0.0
+                )
+                result.breaker_fast_failures = breaker.fast_failures
+            budget = overload.budget
+            if budget is not None:
+                result.retry_budget_spent = budget.spent
+                result.retries_denied = budget.denied
+            result.overload_stale_serves = self._overload_stale_serves
         if self._churn_on:
             manager = self._lifecycle
             census = manager.finalize(self.workload.config.horizon)

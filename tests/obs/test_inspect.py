@@ -80,3 +80,45 @@ def test_page_history(trace_path):
 def test_page_history_empty(trace_path):
     assert page_history(trace_path, 999) == []
     assert "no events" in render_page_history(trace_path, 999)
+
+
+OVERLOAD_EVENTS = [
+    {"t": 0.0, "type": "run_start", "strategy": "gdstar", "seed": 7},
+    {"t": 5.0, "type": "overload_shed", "page": 1, "proxy": 0, "kind": "push"},
+    {"t": 6.0, "type": "overload_shed", "page": 2, "proxy": 0, "kind": "push"},
+    {"t": 7.0, "type": "overload_reject", "page": 3, "proxy": 1},
+    {"t": 8.0, "type": "overload_stale", "page": 3, "proxy": 1},
+    {"t": 9.0, "type": "retry_denied", "page": 3, "proxy": 1, "attempt": 2},
+    {"t": 99.0, "type": "run_end"},
+]
+
+
+@pytest.fixture()
+def overload_trace_path(tmp_path):
+    path = tmp_path / "overload.jsonl"
+    path.write_text(
+        "".join(json.dumps(event) + "\n" for event in OVERLOAD_EVENTS)
+    )
+    return str(path)
+
+
+def test_overload_events_in_taxonomy_and_summary(overload_trace_path):
+    summary = summarize_trace(overload_trace_path)
+    assert not summary.unknown_types
+    assert summary.counts_by_type["overload_shed"] == 2
+    assert summary.counts_by_type["overload_reject"] == 1
+    assert summary.overload_by_proxy[0]["overload_shed"] == 2
+    assert summary.overload_by_proxy[1]["overload_reject"] == 1
+    assert summary.overload_by_proxy[1]["retry_denied"] == 1
+    # Only the low-volume degraded events go to the timeline.
+    assert [event["type"] for event in summary.timeline] == [
+        "overload_stale", "retry_denied",
+    ]
+
+
+def test_overload_section_renders(overload_trace_path):
+    text = summarize_trace(overload_trace_path).render(top=5)
+    assert "overload & backpressure by proxy" in text
+    assert "sheds=2" in text
+    assert "rejects=1" in text
+    assert "retries_denied=1" in text

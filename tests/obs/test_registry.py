@@ -270,3 +270,59 @@ class TestExpositionEscaping:
         registry = MetricsRegistry()
         registry.counter("repro_plain_total", "plain").inc(2)
         assert "repro_plain_total 2" in registry.render_prometheus()
+
+
+class TestOverloadCounters:
+    """The overload layer's counters reach the Prometheus exposition."""
+
+    def _observer(self):
+        from repro.obs.recorder import Observer
+
+        registry = MetricsRegistry()
+        return Observer(registry=registry), registry
+
+    def test_overload_hooks_increment_counters(self):
+        observer, registry = self._observer()
+        observer.overload_shed(1.0, page=3, proxy=0, kind="push")
+        observer.overload_shed(2.0, page=4, proxy=1, kind="push")
+        observer.overload_reject(3.0, page=5, proxy=0)
+        observer.overload_stale(4.0, page=5, proxy=0)
+        observer.retry_denied(5.0, page=5, proxy=0, attempt=2)
+        text = registry.render_prometheus()
+        assert "repro_overload_sheds_total 2" in text
+        assert "repro_overload_rejections_total 1" in text
+        assert "repro_overload_stale_served_total 1" in text
+        assert "repro_retries_denied_total 1" in text
+
+    def test_overload_help_lines_are_escaped_one_liners(self):
+        observer, registry = self._observer()
+        observer.overload_reject(1.0, page=1, proxy=0)
+        text = registry.render_prometheus()
+        help_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("# HELP repro_overload")
+            or line.startswith("# HELP repro_retries_denied")
+        ]
+        assert len(help_lines) == 4
+        for line in help_lines:
+            # Exposition help must stay one escaped line.
+            assert "\n" not in line
+            assert line == escape_help(line)
+
+    def test_overload_counter_with_labels_escapes_values(self):
+        registry = MetricsRegistry()
+        nasty = 'queue "hot"\nproxy\\0'
+        counter = registry.counter(
+            "repro_overload_sheds_total",
+            "pushes shed",
+            labels={"queue": nasty},
+        )
+        counter.inc()
+        text = registry.render_prometheus()
+        line = next(
+            l for l in text.splitlines()
+            if l.startswith("repro_overload_sheds_total{")
+        )
+        assert escape_label_value(nasty) in line
+        assert "\n" not in line

@@ -111,5 +111,7 @@ def test_taxonomy_is_complete():
         "stale_served", "repair",
         "subscribe", "unsubscribe", "lease_confirmed", "lease_renewed",
         "lease_expired", "handshake_lost", "repoll",
+        "overload_shed", "overload_reject", "overload_stale",
+        "retry_denied",
     }
     assert EVENT_TYPES == expected

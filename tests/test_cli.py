@@ -512,3 +512,74 @@ def test_inspect_json_summary(tmp_path, capsys):
     history = _json.loads(capsys.readouterr().out)
     assert isinstance(history, list)
     assert all(event["page"] == first_page for event in history)
+
+
+def test_run_with_overload_flags(capsys):
+    code = main(
+        [
+            "run", "--strategy", "gdstar", "--trace", "news",
+            "--scale", "0.03", "--seed", "3",
+            "--service-rate", "0.005", "--queue-capacity", "3",
+            "--origin-capacity", "0.002", "--origin-burst", "2",
+            "--retry-budget", "40",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "queue~" in out and "origin_rej=" in out and "breaker=" in out
+
+
+def test_run_without_overload_flags_has_no_queue_segment(capsys):
+    code = main(
+        ["run", "--strategy", "gdstar", "--scale", "0.03", "--seed", "3"]
+    )
+    assert code == 0
+    assert "queue~" not in capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "flag,value,needle",
+    [
+        ("--service-rate", "0", "service rate must be > 0"),
+        ("--service-rate", "-1", "service rate must be > 0"),
+        ("--queue-capacity", "0", "queue_capacity must be >= 1"),
+        ("--push-shed-fraction", "1.5", "push_shed_fraction"),
+        ("--origin-capacity", "-0.5", "origin capacity must be > 0"),
+        ("--origin-burst", "0", "origin_burst must be >= 1"),
+        ("--breaker-threshold", "0", "breaker_threshold must be >= 1"),
+        ("--breaker-cooldown", "-1", "breaker_cooldown"),
+        ("--breaker-jitter", "1.0", "breaker_jitter must be in [0, 1)"),
+        ("--retry-budget", "-3", "retry budget must be > 0"),
+        ("--retry-budget-rate", "-1", "retry_budget_rate"),
+        ("--retry-jitter", "2", "retry_jitter must be in [0, 1)"),
+    ],
+)
+def test_run_rejects_invalid_overload_parameter(capsys, flag, value, needle):
+    code = main(["run", "--strategy", "sg2", "--scale", "0.03", flag, value])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "invalid overload parameter" in err
+    assert needle in err
+
+
+@pytest.mark.parametrize(
+    "argv,needle",
+    [
+        (["run", "--scale", "0.03", "--capacity", "-1"], "capacity must be in"),
+        (["run", "--scale", "0.03", "--capacity", "0"], "capacity must be in"),
+        (["run", "--scale", "0.03", "--sq", "2"], "sq must be in"),
+        (["run", "--scale", "-0.5"], "scale must be > 0"),
+        (
+            ["chaos", "--scale", "0.03", "--capacity", "1.5"],
+            "capacity must be in",
+        ),
+    ],
+)
+def test_bad_numeric_flags_fail_with_one_line(capsys, argv, needle):
+    """Out-of-range numeric flags produce a clean one-line error (exit
+    code 2), never a traceback from deep inside the pipeline."""
+    code = main(argv)
+    assert code == 2
+    err = capsys.readouterr().err
+    assert needle in err
+    assert "Traceback" not in err
