@@ -1,0 +1,193 @@
+"""Scale-out benchmark: ``python benchmarks/scale_bench.py``.
+
+Measures the two halves of the scale-out layer and writes
+``BENCH_scale.json``:
+
+* **Sharding throughput** — one fixed cell replayed at 1, 2 and 4
+  shard workers (:mod:`repro.system.sharding`), recording wall time,
+  events/second and the speedup over one worker.  Results are
+  bit-identical across worker counts (asserted here on the hit ratio),
+  so the curve isolates pure orchestration cost/benefit.  ``cpu_count``
+  is recorded alongside: on a single-core box the speedup is honestly
+  ~1x (fork + merge overhead with no parallel hardware); the curve is
+  meaningful on multi-core CI runners and workstations.
+
+* **Streaming replay memory** — the peak traced allocation of a
+  streaming replay (:mod:`repro.workload.streaming`) at two trace
+  sizes 10x apart, with pages and servers held fixed.  The growth
+  factor stays near 1 because the event stream lives on disk and
+  replays through bounded chunks.
+
+The trace, seed and capacity are fixed so numbers are comparable
+across commits; ``bench_history.py record/check`` gates the tracked
+metrics (events/sec, speedup, hit ratio) against the committed
+history.  See benchmarks/README.md for the output format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+import tracemalloc
+from typing import Dict, List, Optional
+
+from repro.sim.rng import RandomStreams
+from repro.system.config import SimulationConfig
+from repro.system.sharding import run_sharded
+from repro.workload.config import DAY, WorkloadConfig
+from repro.workload.presets import make_trace
+from repro.workload.streaming import generate_streaming_workload
+
+STRATEGY = "sg2"
+CAPACITY = 0.05
+WORKER_COUNTS = (1, 2, 4)
+
+#: Streaming memory probe: requests at the small size; the large size
+#: is 10x.  Pages/servers are fixed so only the event stream grows.
+MEMORY_BASE_REQUESTS = 40_000
+SMOKE_MEMORY_BASE_REQUESTS = 10_000
+MEMORY_GROWTH = 10
+
+
+def _shard_points(
+    scale: float, seed: int, worker_counts: List[int]
+) -> Dict[str, object]:
+    workload = make_trace("news", scale=scale, seed=seed)
+    events = workload.publish_count + workload.request_count
+    points = []
+    base_seconds = None
+    base_hit_ratio = None
+    for workers in worker_counts:
+        config = SimulationConfig(
+            strategy=STRATEGY,
+            capacity_fraction=CAPACITY,
+            seed=seed,
+            workers=workers,
+        )
+        started = time.perf_counter()
+        result = run_sharded(workload, config)
+        wall = time.perf_counter() - started
+        if base_seconds is None:
+            base_seconds = wall
+            base_hit_ratio = result.hit_ratio
+        elif result.hit_ratio != base_hit_ratio:
+            raise AssertionError(
+                f"sharded hit ratio diverged at workers={workers}: "
+                f"{result.hit_ratio} != {base_hit_ratio}"
+            )
+        points.append(
+            {
+                "workers": workers,
+                "wall_seconds": wall,
+                "events_per_sec": events / wall,
+                "speedup": base_seconds / wall,
+                "hit_ratio": result.hit_ratio,
+            }
+        )
+    return {"events": events, "points": points}
+
+
+def _streaming_peak(total_requests: int, seed: int) -> Dict[str, object]:
+    """Peak traced bytes of one streaming replay at the given size."""
+    config = WorkloadConfig(
+        horizon=2 * DAY,
+        distinct_pages=120,
+        modified_pages=48,
+        total_requests=total_requests,
+        server_count=10,
+    )
+    workload = generate_streaming_workload(
+        config, RandomStreams(seed), chunk_events=16384, read_chunk=16384
+    )
+    try:
+        from repro.system.simulator import Simulation
+
+        simulation = Simulation(
+            workload, SimulationConfig(strategy=STRATEGY, seed=seed)
+        )
+        events = workload.publish_count + workload.request_count
+        tracemalloc.start()
+        try:
+            simulation.run()
+            _current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return {"events": events, "peak_traced_bytes": peak}
+    finally:
+        workload.close()
+
+
+def run_benchmark(
+    scale: float, seed: int, memory_base_requests: int
+) -> Dict[str, object]:
+    small = _streaming_peak(memory_base_requests, seed)
+    large = _streaming_peak(memory_base_requests * MEMORY_GROWTH, seed)
+    return {
+        "benchmark": "scale_out",
+        "trace": "news",
+        "strategy": STRATEGY,
+        "capacity": CAPACITY,
+        "scale": scale,
+        "seed": seed,
+        "cpu_count": os.cpu_count(),
+        "sharding": _shard_points(scale, seed, list(WORKER_COUNTS)),
+        "streaming_memory": {
+            "small": small,
+            "large": large,
+            "event_growth_factor": large["events"] / small["events"],
+            "peak_growth_factor": (
+                large["peak_traced_bytes"] / small["peak_traced_bytes"]
+            ),
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_scale.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small trace and memory probe for CI",
+    )
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    scale = args.scale
+    if scale is None:
+        scale = 0.05 if args.smoke else 0.25
+    memory_base = (
+        SMOKE_MEMORY_BASE_REQUESTS if args.smoke else MEMORY_BASE_REQUESTS
+    )
+    payload = run_benchmark(scale, args.seed, memory_base)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    points = payload["sharding"]["points"]
+    print(f"scale-out benchmark (cpu_count={payload['cpu_count']}):")
+    for point in points:
+        print(
+            f"  workers={point['workers']}: "
+            f"{point['events_per_sec']:,.0f} events/s "
+            f"(speedup {point['speedup']:.2f}x)"
+        )
+    memory = payload["streaming_memory"]
+    print(
+        f"  streaming replay peak: {memory['small']['peak_traced_bytes']:,} "
+        f"-> {memory['large']['peak_traced_bytes']:,} bytes for "
+        f"{memory['event_growth_factor']:.1f}x the events "
+        f"(growth {memory['peak_growth_factor']:.2f}x)"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,11 @@ class CacheStats:
     bytes_pushed: int = 0
     evictions: int = 0
     bytes_evicted: int = 0
+    #: Summed response latency of this proxy's requests (seconds).  The
+    #: simulator totals it over proxies in server order at collection,
+    #: so a sharded run (repro.system.sharding) reproduces the global
+    #: total bit-for-bit despite float addition being non-associative.
+    response_time: float = 0.0
     #: Optional per-bucket (e.g. hourly) request/hit counters.
     bucketed_requests: Dict[int, int] = field(default_factory=dict)
     bucketed_hits: Dict[int, int] = field(default_factory=dict)
@@ -95,6 +100,7 @@ class CacheStats:
             bytes_pushed=self.bytes_pushed + other.bytes_pushed,
             evictions=self.evictions + other.evictions,
             bytes_evicted=self.bytes_evicted + other.bytes_evicted,
+            response_time=self.response_time + other.response_time,
         )
         for bucket, count in self.bucketed_requests.items():
             merged.bucketed_requests[bucket] = count

@@ -219,6 +219,16 @@ def _validate_cell_args(args: argparse.Namespace) -> None:
     scale = getattr(args, "scale", None)
     if scale is not None and scale <= 0.0:
         raise ValueError(f"scale must be > 0, got {scale}")
+    workers = getattr(args, "workers", None)
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if getattr(args, "streaming", False) and (
+        getattr(args, "replay", "fast") == "agenda"
+    ):
+        raise ValueError(
+            "--streaming requires a replay engine that can stream; "
+            "the agenda engine cannot (use --replay fast or hybrid)"
+        )
 
 
 def _build_overload_spec(args: argparse.Namespace):
@@ -314,6 +324,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         replay=args.replay,
         churn=churn,
         overload=overload,
+        workers=args.workers,
+        streaming=args.streaming,
     )
     print(result.summary())
     _finish_observer(observer, args)
@@ -659,6 +671,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace replay engine: the batched fast path (default), the "
              "merged-iterator hybrid, or the legacy heap agenda (all "
              "bit-identical results)",
+    )
+    run_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard the proxies across N processes (bit-identical "
+             "results; configs whose state crosses shards decline to "
+             "one process)",
+    )
+    run_parser.add_argument(
+        "--streaming", action="store_true",
+        help="generate and replay the trace in streaming form (events "
+             "spill to disk; peak memory stays flat as the trace grows)",
     )
     run_parser.add_argument(
         "--churn-rate", type=float, default=None, metavar="CYCLES",

@@ -36,8 +36,10 @@ from repro.sim.rng import RandomStreams
 from repro.system.config import PushingScheme, SimulationConfig
 from repro.system.metrics import SimulationResult
 from repro.system.simulator import Simulation
+from repro.system.sharding import run_sharded
 from repro.workload.churn import ChurnSpec
 from repro.workload.presets import make_trace
+from repro.workload.streaming import StreamingWorkload, make_streaming_trace
 from repro.workload.subscriptions import build_match_counts
 from repro.workload.trace import Workload
 from repro.experiments.spec import CellKey, ExperimentGrid, GridResult
@@ -68,6 +70,17 @@ def trace_for(
     return make_trace(trace, scale=scale, seed=seed)
 
 
+@lru_cache(maxsize=4)
+def streaming_trace_for(trace: str, scale: float, seed: int) -> StreamingWorkload:
+    """Generate (and memoize) a preset trace in streaming form.
+
+    Streaming traces bypass the on-disk artifact cache: serializing the
+    event stream to JSON would materialize it, defeating the point.
+    The spool is reclaimed when the memo evicts the entry.
+    """
+    return make_streaming_trace(trace, scale=scale, seed=seed)
+
+
 @lru_cache(maxsize=32)
 def _match_table_for(
     trace: str,
@@ -76,8 +89,16 @@ def _match_table_for(
     sq: float,
     notified_fraction: float,
     artifact_dir: Optional[str] = None,
+    streaming: bool = False,
 ) -> TraceMatchCounts:
-    workload = trace_for(trace, scale, seed, artifact_dir)
+    # The streaming workload hands request_pairs out as an aggregated
+    # mapping; build_match_counts produces a bit-identical table from
+    # either form, so the cache key needs no streaming component — but
+    # sourcing from the streaming trace avoids materializing one.
+    if streaming:
+        workload = streaming_trace_for(trace, scale, seed)
+    else:
+        workload = trace_for(trace, scale, seed, artifact_dir)
     if artifact_dir is not None:
         return cached_match_table(
             ArtifactCache(artifact_dir),
@@ -147,6 +168,8 @@ def run_cell(
     replay: str = "fast",
     churn: Optional[ChurnSpec] = None,
     overload: Optional[OverloadSpec] = None,
+    workers: int = 1,
+    streaming: bool = False,
 ) -> SimulationResult:
     """Run one simulation cell (trace and tables are memoized).
 
@@ -164,19 +187,35 @@ def run_cell(
     queues, origin admission control, retry-storm protection); ``None``
     keeps every capacity infinite, bit-identical to the pre-layer
     behaviour.
+
+    ``streaming`` generates the trace in streaming form (events spill
+    to disk and replay chunk-at-a-time; see
+    :mod:`repro.workload.streaming`) and ``workers > 1`` shards the
+    proxies across that many processes (:mod:`repro.system.sharding`).
+    Both are bit-identical to the default path in every result field
+    except ``wall_seconds``/``profile``.
     """
     logger.info(
         "cell %s/%s cap=%.2f sq=%.2f (scale=%s seed=%d)",
         key.trace, key.strategy, key.capacity, key.sq, scale, seed,
     )
     artifact_dir = _resolve_artifact_dir(artifact_dir)
-    workload = trace_for(key.trace, scale, seed, artifact_dir)
+    if streaming:
+        workload = streaming_trace_for(key.trace, scale, seed)
+    else:
+        workload = trace_for(key.trace, scale, seed, artifact_dir)
     if churn is not None:
         workload = workload.with_churn(
             churn, RandomStreams(seed).stream("workload.churn")
         )
     match_table = _match_table_for(
-        key.trace, scale, seed, key.sq, notified_fraction, artifact_dir
+        key.trace,
+        scale,
+        seed,
+        key.sq,
+        notified_fraction,
+        artifact_dir,
+        streaming=streaming,
     )
     topology = _topology_for(
         workload.config.server_count, seed, "waxman", 20, artifact_dir
@@ -195,9 +234,17 @@ def run_cell(
         notified_fraction=notified_fraction,
         overload=overload,
         replay=replay,
+        workers=workers,
     )
-    simulation = Simulation(workload, config, match_table, topology, observer=observer)
-    result = simulation.run()
+    if config.workers > 1:
+        result = run_sharded(
+            workload, config, match_table, topology, observer=observer
+        )
+    else:
+        simulation = Simulation(
+            workload, config, match_table, topology, observer=observer
+        )
+        result = simulation.run()
     logger.debug("cell done: %s", result.summary())
     return result
 
@@ -212,6 +259,8 @@ def run_grid(
     progress: Optional[Callable[[CellKey, SimulationResult], None]] = None,
     workers: int = 1,
     artifact_dir: Optional[str] = None,
+    shard_workers: int = 1,
+    streaming: bool = False,
 ) -> GridResult:
     """Run every cell of ``grid``; see :class:`GridResult` for access.
 
@@ -221,6 +270,11 @@ def run_grid(
     trace/table memo, so each regenerates the workload once — unless an
     artifact directory is configured, in which case the first worker to
     finish generating persists it and the rest load from disk.
+
+    ``shard_workers`` and ``streaming`` forward to :func:`run_cell`:
+    each cell shards its proxies across that many processes and/or
+    consumes the trace in streaming form.  Cell-level and shard-level
+    parallelism compose multiplicatively — prefer one or the other.
     """
     artifact_dir = _resolve_artifact_dir(artifact_dir)
     outcome = GridResult(grid=grid, scale=scale, seed=seed)
@@ -235,6 +289,8 @@ def run_grid(
                 notified_fraction=notified_fraction,
                 strategy_options=strategy_options,
                 artifact_dir=artifact_dir,
+                workers=shard_workers,
+                streaming=streaming,
             )
             outcome.results[key] = result
             if progress is not None:
@@ -254,6 +310,8 @@ def run_grid(
                 notified_fraction=notified_fraction,
                 strategy_options=strategy_options,
                 artifact_dir=artifact_dir,
+                workers=shard_workers,
+                streaming=streaming,
             ): key
             for key in cells
         }
@@ -269,5 +327,6 @@ def run_grid(
 def clear_caches() -> None:
     """Drop memoized traces/tables/topologies (tests use this)."""
     trace_for.cache_clear()
+    streaming_trace_for.cache_clear()
     _match_table_for.cache_clear()
     _topology_for.cache_clear()

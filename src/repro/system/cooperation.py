@@ -138,7 +138,7 @@ class CooperativeSimulation(Simulation):
                 latency += self.config.per_hop_latency * proxy.policy.cost
                 if obs_on:
                     self.obs.fetch(now, page_id, server_id)
-        self._total_response_time += latency
+        proxy.stats.response_time += latency
         if obs_on:
             kind = "hit" if outcome.hit else ("stale" if outcome.stale else "miss")
             self.obs.request_outcome(now, page_id, server_id, kind, latency)

@@ -171,6 +171,15 @@ class Simulation:
     ) -> None:
         self.workload = workload
         self.config = config
+        #: Streaming traces are iterated, never indexed; the legacy
+        #: agenda path would materialize every record as a heap entry,
+        #: defeating the point, so it declines up front.
+        self._streaming = bool(getattr(workload, "streaming", False))
+        if self._streaming and config.replay == "agenda":
+            raise ValueError(
+                "the agenda replay engine cannot stream a workload; "
+                "use replay='fast' or 'hybrid', or materialize the trace"
+            )
         # Observability is strictly read-only: hooks fire *after* each
         # state transition and never touch RNG streams, so an observed
         # run's SimulationResult (minus wall_seconds/profile) stays
@@ -232,7 +241,6 @@ class Simulation:
                     self._matches_by_page[page.page_id] = sorted(counts.items())
 
         self._events_processed = 0
-        self._total_response_time = 0.0
 
         # -- fault layer ---------------------------------------------------
         self.chaos: Optional[ChaosSpec] = config.chaos
@@ -627,7 +635,7 @@ class Simulation:
             if not outcome.hit:
                 self.publisher.record_fetch(page_id, now)
                 latency += self.config.per_hop_latency * proxy.policy.cost
-            self._total_response_time += latency
+            proxy.stats.response_time += latency
             if obs_on:
                 self.obs.request_outcome(
                     now, page_id, server_id, _outcome_kind(outcome), latency
@@ -694,7 +702,7 @@ class Simulation:
             extra_latency, _degraded = resolution
             self._note_degraded(now)
             latency = self.config.hit_latency + extra_latency
-            self._total_response_time += latency
+            proxy.stats.response_time += latency
             if obs_on:
                 self.obs.request_outcome(now, page_id, server_id, "miss", latency)
             return
@@ -716,7 +724,7 @@ class Simulation:
                 self._staleness_validations += 1
             proxy.handle_request(page_id, version, size, match_count, now)
             self._recovery.on_request(server_id, hit=True, now=now)
-            self._total_response_time += self.config.hit_latency
+            proxy.stats.response_time += self.config.hit_latency
             if obs_on:
                 self.obs.request_outcome(
                     now, page_id, server_id, "hit", self.config.hit_latency
@@ -753,7 +761,7 @@ class Simulation:
         if degraded:
             self._note_degraded(now)
         latency = self.config.hit_latency + extra_latency
-        self._total_response_time += latency
+        proxy.stats.response_time += latency
         if obs_on:
             self.obs.request_outcome(
                 now, page_id, server_id, _outcome_kind(outcome), latency
@@ -824,7 +832,7 @@ class Simulation:
         if degraded or waited > 0.0:
             self._note_degraded(now)
         latency = self.config.hit_latency + waited + fetch_latency
-        self._total_response_time += latency
+        proxy.stats.response_time += latency
         if obs_on:
             self.obs.request_outcome(now, page_id, server_id, "stale", latency)
         return True
@@ -857,7 +865,7 @@ class Simulation:
         )
         self._sample_staleness_age(age)
         latency = self.config.hit_latency + waited
-        self._total_response_time += latency
+        proxy.stats.response_time += latency
         if self._obs_on:
             self.obs.stale_served(now, page_id, server_id, age)
             self.obs.request_outcome(now, page_id, server_id, "hit", latency)
@@ -888,7 +896,7 @@ class Simulation:
             return
         if self._probe_hit(proxy, page_id, version):
             proxy.handle_request(page_id, version, size, match_count, now)
-            self._total_response_time += self.config.hit_latency
+            proxy.stats.response_time += self.config.hit_latency
             if obs_on:
                 self.obs.request_outcome(
                     now, page_id, server_id, "hit", self.config.hit_latency
@@ -910,7 +918,7 @@ class Simulation:
         if degraded:
             self._note_degraded(now)
         latency = self.config.hit_latency + extra_latency
-        self._total_response_time += latency
+        proxy.stats.response_time += latency
         if obs_on:
             self.obs.request_outcome(
                 now, page_id, server_id, _outcome_kind(outcome), latency
@@ -943,7 +951,7 @@ class Simulation:
         extra_latency, _degraded = resolution
         self._note_degraded(now)
         latency = self.config.hit_latency + extra_latency
-        self._total_response_time += latency
+        proxy.stats.response_time += latency
         if obs_on:
             self.obs.request_outcome(now, page_id, server_id, "miss", latency)
 
@@ -984,7 +992,7 @@ class Simulation:
         self._overload_stale_serves += 1
         self._note_degraded(now)
         latency = self.config.hit_latency + waited
-        self._total_response_time += latency
+        proxy.stats.response_time += latency
         if self._obs_on:
             self.obs.overload_stale(now, page_id, server_id)
             self.obs.request_outcome(now, page_id, server_id, "hit", latency)
@@ -1148,61 +1156,58 @@ class Simulation:
         first, then publishes, then requests).
 
         On a churn-free trace this degenerates to the original
-        two-pointer publish/request merge.
+        two-pointer publish/request merge.  The merge consumes the
+        streams through iterators only (never indexing), so it serves
+        lists and lazy :class:`~repro.workload.streaming` views alike
+        with identical output order.
         """
-        publishes = self.workload.publishes
-        requests = self.workload.requests
+        requests = iter(self.workload.requests)
         handle_publish = self._handle_publish
         handle_request = self._handle_request
         if self.workload.lifecycle:
             urgent = self._urgent_stream()
-            j, request_count = 0, len(requests)
             pending = next(urgent, None)
-            while pending is not None and j < request_count:
-                request = requests[j]
+            request = next(requests, None)
+            while pending is not None and request is not None:
                 # A request precedes an URGENT record only at a strictly
                 # earlier time; on a tie URGENT beats NORMAL.
                 if request.time < pending[0]:
                     yield (request.time, NORMAL, handle_request,
                            request.server_id, request.page_id)
-                    j += 1
+                    request = next(requests, None)
                 else:
                     yield pending
                     pending = next(urgent, None)
             while pending is not None:
                 yield pending
                 pending = next(urgent, None)
-            while j < request_count:
-                request = requests[j]
+            while request is not None:
                 yield (request.time, NORMAL, handle_request,
                        request.server_id, request.page_id)
-                j += 1
+                request = next(requests, None)
             return
-        i, publish_count = 0, len(publishes)
-        j, request_count = 0, len(requests)
-        while i < publish_count and j < request_count:
-            publish = publishes[i]
-            request = requests[j]
+        publishes = iter(self.workload.publishes)
+        publish = next(publishes, None)
+        request = next(requests, None)
+        while publish is not None and request is not None:
             # A request precedes a publish only at a strictly earlier
             # time; on a tie URGENT beats NORMAL.
             if request.time < publish.time:
                 yield (request.time, NORMAL, handle_request,
                        request.server_id, request.page_id)
-                j += 1
+                request = next(requests, None)
             else:
                 yield (publish.time, URGENT, handle_publish,
                        publish.page_id, publish.version)
-                i += 1
-        while i < publish_count:
-            publish = publishes[i]
+                publish = next(publishes, None)
+        while publish is not None:
             yield (publish.time, URGENT, handle_publish,
                    publish.page_id, publish.version)
-            i += 1
-        while j < request_count:
-            request = requests[j]
+            publish = next(publishes, None)
+        while request is not None:
             yield (request.time, NORMAL, handle_request,
                    request.server_id, request.page_id)
-            j += 1
+            request = next(requests, None)
 
     def _urgent_stream(self):
         """Lifecycle events merged with publishes, both URGENT.
@@ -1211,31 +1216,73 @@ class Simulation:
         agenda path where they are scheduled first (lower sequence
         numbers at equal ``(time, priority)``).
         """
-        lifecycle = self.workload.lifecycle
-        publishes = self.workload.publishes
         handle_lifecycle = self._handle_lifecycle
         handle_publish = self._handle_publish
-        i, lifecycle_count = 0, len(lifecycle)
-        j, publish_count = 0, len(publishes)
-        while i < lifecycle_count and j < publish_count:
-            event = lifecycle[i]
-            publish = publishes[j]
+        lifecycle = iter(self.workload.lifecycle)
+        publishes = iter(self.workload.publishes)
+        event = next(lifecycle, None)
+        publish = next(publishes, None)
+        while event is not None and publish is not None:
             if publish.time < event.time:
                 yield (publish.time, URGENT, handle_publish,
                        publish.page_id, publish.version)
-                j += 1
+                publish = next(publishes, None)
             else:
                 yield (event.time, URGENT, handle_lifecycle, event, None)
-                i += 1
-        while i < lifecycle_count:
-            event = lifecycle[i]
+                event = next(lifecycle, None)
+        while event is not None:
             yield (event.time, URGENT, handle_lifecycle, event, None)
-            i += 1
-        while j < publish_count:
-            publish = publishes[j]
+            event = next(lifecycle, None)
+        while publish is not None:
             yield (publish.time, URGENT, handle_publish,
                    publish.page_id, publish.version)
-            j += 1
+            publish = next(publishes, None)
+
+    def _enriched_stream(self):
+        """The batched tuple stream, merged lazily (streaming traces).
+
+        Yields the same ``(time, kind, a, b, size, m)`` tuples as the
+        memoized columnar list, in the same order: a two-pointer merge
+        where publishes win time ties and each stream keeps its own
+        pre-sorted order — exactly what the stable ``(time, kind)``
+        sort produces.  Nothing is retained, so a 10M-event trace
+        replays in chunk-bounded memory.
+        """
+        sizes = self.publisher._sizes
+        matches = self._matches_by_page
+        matches_get = matches.get
+        rows_get = {
+            page_id: dict(pairs) for page_id, pairs in matches.items()
+        }.get
+        empty_pairs: Tuple = ()
+        empty_row: Dict[int, int] = {}
+        publishes = iter(self.workload.publishes)
+        requests = iter(self.workload.requests)
+        publish = next(publishes, None)
+        request = next(requests, None)
+        while publish is not None and request is not None:
+            if request.time < publish.time:
+                page_id = request.page_id
+                yield (request.time, 1, request.server_id, page_id,
+                       sizes[page_id],
+                       rows_get(page_id, empty_row).get(request.server_id, 0))
+                request = next(requests, None)
+            else:
+                page_id = publish.page_id
+                yield (publish.time, 0, page_id, publish.version,
+                       sizes[page_id], matches_get(page_id, empty_pairs))
+                publish = next(publishes, None)
+        while publish is not None:
+            page_id = publish.page_id
+            yield (publish.time, 0, page_id, publish.version,
+                   sizes[page_id], matches_get(page_id, empty_pairs))
+            publish = next(publishes, None)
+        while request is not None:
+            page_id = request.page_id
+            yield (request.time, 1, request.server_id, page_id,
+                   sizes[page_id],
+                   rows_get(page_id, empty_row).get(request.server_id, 0))
+            request = next(requests, None)
 
     def _batched_eligible(self) -> bool:
         """Whether the batched driver can replace the hybrid merge.
@@ -1301,44 +1348,51 @@ class Simulation:
         # keyed by the match table — repeated runs (benchmark repeats,
         # strategy grids over one trace) replay it with no per-run
         # merge work at all.
-        streams = getattr(workload, "_batched_streams", None)
-        if streams is None:
-            streams = workload._batched_streams = {}
-        merged = streams.get(self.match_table)
-        if merged is None:
-            matches = self._matches_by_page
-            matches_get = matches.get
-            rows_get = {
-                page_id: dict(pairs) for page_id, pairs in matches.items()
-            }.get
-            empty_pairs: Tuple = ()
-            empty_row: Dict[int, int] = {}
-            merged = [
-                (
-                    p.time,
-                    0,
-                    p.page_id,
-                    p.version,
-                    sizes[p.page_id],
-                    matches_get(p.page_id, empty_pairs),
+        if self._streaming:
+            # A streaming trace is never memoized: the enriched tuples
+            # are produced lazily by a two-pointer merge whose output
+            # order equals the stable (time, kind) sort below, keeping
+            # replay memory bounded by the workload's read chunk.
+            merged = self._enriched_stream()
+        else:
+            streams = getattr(workload, "_batched_streams", None)
+            if streams is None:
+                streams = workload._batched_streams = {}
+            merged = streams.get(self.match_table)
+            if merged is None:
+                matches = self._matches_by_page
+                matches_get = matches.get
+                rows_get = {
+                    page_id: dict(pairs) for page_id, pairs in matches.items()
+                }.get
+                empty_pairs: Tuple = ()
+                empty_row: Dict[int, int] = {}
+                merged = [
+                    (
+                        p.time,
+                        0,
+                        p.page_id,
+                        p.version,
+                        sizes[p.page_id],
+                        matches_get(p.page_id, empty_pairs),
+                    )
+                    for p in workload.publishes
+                ]
+                merged.extend(
+                    (
+                        r.time,
+                        1,
+                        r.server_id,
+                        r.page_id,
+                        sizes[r.page_id],
+                        rows_get(r.page_id, empty_row).get(r.server_id, 0),
+                    )
+                    for r in workload.requests
                 )
-                for p in workload.publishes
-            ]
-            merged.extend(
-                (
-                    r.time,
-                    1,
-                    r.server_id,
-                    r.page_id,
-                    sizes[r.page_id],
-                    rows_get(r.page_id, empty_row).get(r.server_id, 0),
-                )
-                for r in workload.requests
-            )
-            merged.sort(key=_TIME_KIND)
-            streams[self.match_table] = merged
-        publish_count = len(workload.publishes)
-        request_count = len(workload.requests)
+                merged.sort(key=_TIME_KIND)
+                streams[self.match_table] = merged
+        publish_count = workload.publish_count
+        request_count = workload.request_count
 
         # Per-proxy columns: bound policy entry points, whether a
         # rejected push still transfers (Always-Pushing with a
@@ -1355,7 +1409,10 @@ class Simulation:
         versions_get = versions.get
         interval = config.invariant_check_interval
         events = self._events_processed
-        total_response_time = self._total_response_time
+        # Response time accumulates per proxy (each proxy's additions
+        # happen in its own event order), so a sharded run merging
+        # per-proxy values reproduces the total bit-for-bit.
+        response_time = [0.0] * len(proxies)
 
         # One C-level iteration per trace event; the invariant cadence
         # only pays its counter when enabled.
@@ -1373,12 +1430,12 @@ class Simulation:
                     )
                 outcome = on_request[a](b, version, size, m, now)
                 if outcome.hit:
-                    total_response_time += hit_latency
+                    response_time[a] += hit_latency
                 else:
                     hour = int(now // 3600.0)
                     fetch_pages[hour] = fetch_pages.get(hour, 0) + 1
                     fetch_bytes[hour] = fetch_bytes.get(hour, 0) + size
-                    total_response_time += hit_latency + miss_latency[a]
+                    response_time[a] += hit_latency + miss_latency[a]
             else:
                 # -- one publish of page ``a`` version ``b`` to match
                 #    pairs ``m`` (see _handle_publish, fault-free path)
@@ -1411,7 +1468,8 @@ class Simulation:
                         proxy.check_invariants()
 
         self._events_processed += publish_count + request_count
-        self._total_response_time = total_response_time
+        for proxy, latency in zip(proxies, response_time):
+            proxy.stats.response_time += latency
 
     def run(self) -> SimulationResult:
         """Replay the whole trace and collect the metrics."""
@@ -1564,7 +1622,12 @@ class Simulation:
             hourly_fetch_bytes=dense(self.publisher.fetch_bytes_by_hour),
             per_proxy=[proxy.stats for proxy in self.proxies],
             wall_seconds=wall_seconds,
-            total_response_time=self._total_response_time,
+            # Summed over proxies in server order — the same expression
+            # a sharded merge evaluates, so the total is bit-identical
+            # across worker counts (float addition is order-sensitive).
+            total_response_time=sum(
+                proxy.stats.response_time for proxy in self.proxies
+            ),
         )
         if self._faults_on or self._overload_on:
             # Both layers route refused/unservable requests through the

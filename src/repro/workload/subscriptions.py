@@ -20,7 +20,7 @@ pages outside the notification service.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Mapping, Tuple, Union
 
 import numpy as np
 
@@ -46,7 +46,9 @@ def sample_quality(
 
 
 def build_match_counts(
-    request_pairs: Iterable[Tuple[int, int]],
+    request_pairs: Union[
+        Iterable[Tuple[int, int]], Mapping[Tuple[int, int], int]
+    ],
     sq: float,
     rng: np.random.Generator,
     notified_fraction: float = 1.0,
@@ -54,7 +56,12 @@ def build_match_counts(
     """Eq. 7: match-count table from (page_id, server_id) request pairs.
 
     Args:
-        request_pairs: one (page_id, server_id) per request in the trace.
+        request_pairs: one (page_id, server_id) per request in the
+            trace, or — equivalently — a mapping from each distinct
+            pair to its request count (the aggregated form a
+            :class:`~repro.workload.streaming.StreamingWorkload` hands
+            out, since only the counts matter here).  Both forms yield
+            bit-identical tables.
         sq: target subscription quality in (0, 1].
         rng: random stream for the per-pair quality draws.
         notified_fraction: fraction of requests assumed to be driven by
@@ -71,8 +78,12 @@ def build_match_counts(
             f"notified_fraction must be in [0, 1], got {notified_fraction}"
         )
     requests: Dict[Tuple[int, int], int] = defaultdict(int)
-    for page_id, server_id in request_pairs:
-        requests[(int(page_id), int(server_id))] += 1
+    if isinstance(request_pairs, Mapping):
+        for (page_id, server_id), count in request_pairs.items():
+            requests[(int(page_id), int(server_id))] += int(count)
+    else:
+        for page_id, server_id in request_pairs:
+            requests[(int(page_id), int(server_id))] += 1
 
     keys = sorted(requests)
     if notified_fraction < 1.0:

@@ -79,7 +79,13 @@ class Workload:
     lifecycle: List["LifecycleRecord"] = field(default_factory=list)
     #: The churn parameters that produced ``lifecycle`` (None = off).
     churn: Optional["ChurnSpec"] = None
-    _request_pairs: List[Tuple[int, int]] = field(default_factory=list, repr=False)
+    #: Memoized (page_id, server_id) pairs.  ``init=False`` keeps the
+    #: memo out of ``dataclasses.replace`` copies (``with_churn`` and
+    #: friends), so a copy whose ``requests`` were replaced rebuilds the
+    #: pairs instead of silently inheriting a stale list.
+    _request_pairs: List[Tuple[int, int]] = field(
+        default_factory=list, repr=False, init=False, compare=False
+    )
 
     @property
     def publish_count(self) -> int:
@@ -136,17 +142,9 @@ class Workload:
         Servers that never appear in the request stream get the mean
         capacity so every proxy still exists in the simulation.
         """
-        if not 0.0 < fraction <= 1.0:
-            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
-        unique = self.unique_bytes_per_server()
-        mean_bytes = (
-            sum(unique.values()) / len(unique) if unique else 1024.0
+        return capacities_from_unique(
+            self.unique_bytes_per_server(), self.config.server_count, fraction
         )
-        capacities = {}
-        for server in range(self.config.server_count):
-            base = unique.get(server, mean_bytes)
-            capacities[server] = max(1, int(base * fraction))
-        return capacities
 
     # -- subscription churn ---------------------------------------------------
 
@@ -207,6 +205,24 @@ class Workload:
             ],
             churn=churn,
         )
+
+
+def capacities_from_unique(
+    unique: Dict[int, int], server_count: int, fraction: float
+) -> Dict[int, int]:
+    """Per-server capacities from the unique-bytes map (§5.1).
+
+    Shared by the materialized and streaming workload forms so both
+    hand the simulator bit-identical capacities.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    mean_bytes = sum(unique.values()) / len(unique) if unique else 1024.0
+    capacities = {}
+    for server in range(server_count):
+        base = unique.get(server, mean_bytes)
+        capacities[server] = max(1, int(base * fraction))
+    return capacities
 
 
 def generate_workload(

@@ -30,6 +30,16 @@ def test_run_command(capsys):
     assert "sg2" in out and "news" in out and "H=" in out
 
 
+def test_run_command_sharded_streaming_matches_default(capsys):
+    """`run --workers 2 --streaming` prints the same summary line as
+    the plain single-process run (bit-identical metrics)."""
+    argv = ["run", "--scale", "0.03", "--seed", "3"]
+    assert main(argv) == 0
+    plain = capsys.readouterr().out
+    assert main(argv + ["--workers", "2", "--streaming"]) == 0
+    assert capsys.readouterr().out == plain
+
+
 def test_trace_stats_command(capsys):
     code = main(["trace-stats", "--trace", "news", "--scale", "0.03", "--seed", "3"])
     assert code == 0
@@ -569,6 +579,11 @@ def test_run_rejects_invalid_overload_parameter(capsys, flag, value, needle):
         (["run", "--scale", "0.03", "--capacity", "0"], "capacity must be in"),
         (["run", "--scale", "0.03", "--sq", "2"], "sq must be in"),
         (["run", "--scale", "-0.5"], "scale must be > 0"),
+        (["run", "--scale", "0.03", "--workers", "0"], "workers must be >= 1"),
+        (
+            ["run", "--scale", "0.03", "--streaming", "--replay", "agenda"],
+            "cannot",
+        ),
         (
             ["chaos", "--scale", "0.03", "--capacity", "1.5"],
             "capacity must be in",

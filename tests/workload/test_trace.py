@@ -52,6 +52,21 @@ def test_request_pairs_cached(small_trace):
     assert small_trace.request_pairs() is pairs
 
 
+def test_request_pairs_memo_not_shared_by_replace_copies(small_trace):
+    """A ``dataclasses.replace`` copy with different requests must not
+    inherit the original's memoized pairs (regression: the memo used to
+    be an init field, so copies carried a stale list)."""
+    small_trace.request_pairs()  # populate the memo
+    copy = dataclasses.replace(
+        small_trace, requests=small_trace.requests[: 10]
+    )
+    pairs = copy.request_pairs()
+    assert len(pairs) == 10
+    assert pairs == [
+        (record.page_id, record.server_id) for record in copy.requests
+    ]
+
+
 def test_server_ids_in_range(small_trace):
     for record in small_trace.requests:
         assert 0 <= record.server_id < small_trace.config.server_count
